@@ -1,0 +1,55 @@
+// Command drmdtm regenerates Figure 4: for every application and every
+// temperature point, the DVS frequency chosen by DRM (interpreting the
+// temperature as T_qual) versus DTM (interpreting it as T_max), plus the
+// cross-violation analysis showing that neither policy subsumes the
+// other (Section 7.3).
+//
+// Examples:
+//
+//	drmdtm
+//	drmdtm -apps MP3dec,twolf -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ramp/internal/exp"
+	"ramp/internal/figures"
+	"ramp/internal/trace"
+)
+
+func main() {
+	var (
+		appList = flag.String("apps", "", "comma-separated application subset (default: all nine)")
+		quick   = flag.Bool("quick", false, "use short simulation runs")
+		step    = flag.Float64("step", 0.125e9, "DVS frequency grid step in Hz")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	env := exp.NewEnv(opts)
+
+	var apps []trace.Profile
+	if *appList != "" {
+		for _, name := range strings.Split(*appList, ",") {
+			a, err := trace.AppByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			apps = append(apps, a)
+		}
+	}
+	rows, err := figures.Figure4(env, apps, *step)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	figures.WriteFigure4(os.Stdout, rows)
+}

@@ -1,0 +1,57 @@
+// Command ramptables regenerates the paper's tables and its motivating
+// figure: Table 1 (base processor), Table 2 (per-application IPC and
+// power) and Figure 1 (FIT vs qualification cost).
+//
+// Examples:
+//
+//	ramptables                 # everything
+//	ramptables -table 2        # just Table 2
+//	ramptables -figure 1       # just Figure 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ramp/internal/exp"
+	"ramp/internal/figures"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "print only this table (1 or 2)")
+		figure = flag.Int("figure", 0, "print only this figure (1)")
+		quick  = flag.Bool("quick", false, "use short simulation runs")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	env := exp.NewEnv(opts)
+
+	all := *table == 0 && *figure == 0
+	if all || *table == 1 {
+		figures.NewTable1(env).Write(os.Stdout)
+		fmt.Println()
+	}
+	if all || *table == 2 {
+		rows, err := figures.Table2(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		figures.WriteTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if all || *figure == 1 {
+		rows, err := figures.Figure1(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		figures.WriteFigure1(os.Stdout, rows)
+	}
+}

@@ -1,0 +1,31 @@
+// Command scaling runs the technology-scaling study behind Section 1.2
+// (and the paper's companion DSN 2004 work): the base microarchitecture
+// ported across the 180/130/90/65 nm generations with a fixed cooling
+// solution and qualification methodology, reported per core and per
+// constant-area die.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ramp/internal/exp"
+	"ramp/internal/figures"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use short simulation runs")
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	rows, err := figures.ScalingStudy(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	figures.WriteScaling(os.Stdout, rows)
+}

@@ -1,0 +1,70 @@
+// DRM vs DTM: why neither subsumes the other (Section 7.3).
+//
+// Dynamic thermal management enforces an instantaneous temperature cap;
+// dynamic reliability management budgets failure rate over time. This
+// example runs both controllers on one application across a range of
+// design temperatures and shows the two failure modes the paper
+// identifies: at high temperatures DTM's choice violates the lifetime
+// target, and at low temperatures DRM's choice violates the thermal cap.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramp"
+)
+
+func main() {
+	env := ramp.NewEnv(ramp.DefaultOptions())
+	oracle := ramp.NewDRMOracle(env)
+	oracle.FreqStepHz = 0.25e9
+
+	app, err := ramp.AppByName("gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One DVS sweep feeds both controllers: DRM selects on FIT, DTM on
+	// peak temperature.
+	sweep, err := oracle.Sweep(app, ramp.DVS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dtmSweep := ramp.DTMSweepFrom(sweep)
+
+	fmt.Printf("%s under DRM (T as Tqual) vs DTM (T as Tmax):\n\n", app.Name)
+	fmt.Printf("%6s  %12s %10s   %12s %12s\n",
+		"T (K)", "DRM clock", "peak T", "DTM clock", "FIT @ Tqual")
+
+	for _, tK := range []float64{325, 345, 360, 370, 400} {
+		qual := env.Qualification(tK)
+		drmChoice, err := sweep.Select(env, qual)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dtmChoice, err := dtmSweep.Select(tK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dtmFit, err := env.Requalify(dtmChoice.Result, qual)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		thermalMark := " "
+		if drmChoice.Result.MaxTempK > tK {
+			thermalMark = "*" // DRM broke the thermal cap
+		}
+		relMark := " "
+		if dtmFit.TotalFIT > ramp.StandardTargetFIT {
+			relMark = "!" // DTM broke the lifetime target
+		}
+		fmt.Printf("%6.0f  %9.2f GHz %8.0f K%s  %9.2f GHz %11.0f%s\n",
+			tK, drmChoice.Proc.FreqHz/1e9, drmChoice.Result.MaxTempK, thermalMark,
+			dtmChoice.Proc.FreqHz/1e9, dtmFit.TotalFIT, relMark)
+	}
+
+	fmt.Println("\n'*' — DRM's pick exceeds the thermal cap at that temperature;")
+	fmt.Println("'!' — DTM's pick exceeds the 4000-FIT lifetime target.")
+	fmt.Println("A real system needs both constraints as first-class citizens.")
+}

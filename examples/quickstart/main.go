@@ -1,0 +1,50 @@
+// Quickstart: evaluate one application on the base processor and read
+// its performance, power, temperature and lifetime reliability.
+//
+// This is the library's smallest end-to-end flow: build the standard
+// environment (Table 1 processor, R10000-like floorplan, 65 nm power and
+// thermal models), pick a workload, pick a qualification point, and
+// evaluate. The result carries everything RAMP tracks: IPC, watts, the
+// per-structure temperature profile, and the FIT/MTTF verdict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramp"
+)
+
+func main() {
+	env := ramp.NewEnv(ramp.DefaultOptions())
+
+	app, err := ramp.AppByName("MP3dec")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Qualify for the worst case: T_qual = 400 K, the hottest temperature
+	// any application reaches on this design (Section 7.1).
+	qual := env.Qualification(400)
+
+	res, err := env.Evaluate(app, env.Base, qual)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application     %s\n", res.App)
+	fmt.Printf("IPC             %.2f\n", res.IPC)
+	fmt.Printf("performance     %.2f BIPS at %.1f GHz\n", res.BIPS, res.Proc.FreqHz/1e9)
+	fmt.Printf("average power   %.1f W\n", res.AvgW)
+	fmt.Printf("peak temp       %.1f K\n", res.MaxTempK)
+	fmt.Printf("FIT value       %.0f (target %d)\n", res.FIT(), ramp.StandardTargetFIT)
+	fmt.Printf("projected MTTF  %.1f years\n", res.Assessment.MTTFYears)
+
+	if res.FIT() <= ramp.StandardTargetFIT {
+		slack := ramp.StandardTargetFIT / res.FIT()
+		fmt.Printf("\nThe worst-case qualification leaves a %.1fx reliability margin —\n", slack)
+		fmt.Println("headroom DRM can convert into performance (see examples/overdesign).")
+	} else {
+		fmt.Println("\nThis workload exceeds the reliability target; DRM would throttle it.")
+	}
+}

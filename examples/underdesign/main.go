@@ -1,0 +1,57 @@
+// Underdesign: the commodity-processor scenario of Section 1.3.
+//
+// Instead of paying for a worst-case qualification, the designer
+// qualifies the processor for the *average* application (a much cheaper
+// T_qual). Most workloads still meet the lifetime target at full speed;
+// the few that exceed it are throttled by DRM — trading a bounded
+// performance loss on hot applications for lower qualification cost and
+// higher yield on every shipped part.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramp"
+)
+
+func main() {
+	// Quick simulation settings keep the 9-app x 108-config sweep snappy;
+	// switch to DefaultOptions for publication-quality numbers.
+	env := ramp.NewEnv(ramp.QuickOptions())
+	oracle := ramp.NewDRMOracle(env)
+	oracle.FreqStepHz = 0.5e9
+
+	cheap := env.Qualification(345) // qualified for the average app
+
+	fmt.Println("Under-designed commodity processor (Tqual = 345 K):")
+	fmt.Printf("%-8s  %10s %6s  %12s %9s\n",
+		"app", "base FIT", "ok?", "DRM response", "perf")
+
+	for _, app := range ramp.Apps() {
+		sweep, err := oracle.Sweep(app, ramp.ArchDVS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := env.Requalify(sweep.Base, cheap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		choice, err := sweep.Select(env, cheap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := "yes"
+		if base.TotalFIT > ramp.StandardTargetFIT {
+			ok = "NO"
+		}
+		fmt.Printf("%-8s  %10.0f %6s  %12s %8.1f%%\n",
+			app.Name, base.TotalFIT, ok, choice.Proc.Name, choice.RelPerf*100)
+	}
+
+	fmt.Println("\n'base FIT' is the unmanaged FIT on this cheap design; apps marked")
+	fmt.Println("'NO' would wear the processor out early without intervention. The")
+	fmt.Println("DRM response column shows the configuration (microarchitecture @")
+	fmt.Println("clock) the oracle picks so each app meets the 4000-FIT target, and")
+	fmt.Println("'perf' its throughput relative to the base machine.")
+}

@@ -1,0 +1,3 @@
+module ramp
+
+go 1.22

@@ -1,0 +1,76 @@
+// Technology-scaling support.
+//
+// Section 1.2 argues that scaling is the root of the lifetime
+// reliability problem: smaller features raise power density, leakage
+// grows exponentially and supply voltage does not scale with feature
+// size, all of which accelerate wear-out. The paper quantifies this in
+// its companion study ("The Impact of Scaling on Processor Lifetime
+// Reliability", DSN 2004, reference [20]); this file provides the
+// technology ladder needed to reproduce that trend with this
+// repository's models (see the scaling study in internal/figures).
+package config
+
+import "fmt"
+
+// TechNode describes one CMOS technology generation for the scaling
+// study: the same microarchitecture ported across nodes.
+type TechNode struct {
+	// NodeNM is the feature size.
+	NodeNM float64
+	// VddV is the nominal supply voltage — note how slowly it scales
+	// relative to feature size (the paper's point).
+	VddV float64
+	// FreqHz is the shipping clock for this core at this node.
+	FreqHz float64
+	// LeakageWPerMM2 is leakage density at 383 K — growing steeply with
+	// scaling as thresholds drop.
+	LeakageWPerMM2 float64
+}
+
+// TechLadder returns the four-generation ladder ending at the paper's
+// 65 nm design point. Voltages and clocks follow the historical/ITRS
+// trajectory for high-performance cores; leakage densities follow the
+// exponential growth the paper cites.
+func TechLadder() []TechNode {
+	return []TechNode{
+		{NodeNM: 180, VddV: 1.8, FreqHz: 1.0e9, LeakageWPerMM2: 0.01},
+		{NodeNM: 130, VddV: 1.3, FreqHz: 2.0e9, LeakageWPerMM2: 0.05},
+		{NodeNM: 90, VddV: 1.1, FreqHz: 3.0e9, LeakageWPerMM2: 0.20},
+		{NodeNM: 65, VddV: 1.0, FreqHz: 4.0e9, LeakageWPerMM2: 0.50},
+	}
+}
+
+// Validate checks the node's parameters.
+func (n TechNode) Validate() error {
+	if n.NodeNM <= 0 || n.VddV <= 0 || n.FreqHz <= 0 || n.LeakageWPerMM2 < 0 {
+		return fmt.Errorf("config: invalid tech node %+v", n)
+	}
+	return nil
+}
+
+// LinearScale returns the node's linear feature-size ratio relative to
+// the paper's 65 nm point.
+func (n TechNode) LinearScale() float64 { return n.NodeNM / 65.0 }
+
+// Tech returns the node's technology parameters (ambient and leakage
+// temperature model shared with the 65 nm point).
+func (n TechNode) Tech() Tech {
+	t := Tech65nm()
+	t.ProcessNM = n.NodeNM
+	t.VddNominal = n.VddV
+	t.BaseFreqHz = n.FreqHz
+	t.LeakageWPerMM2 = n.LeakageWPerMM2
+	return t
+}
+
+// Proc returns the paper's base microarchitecture ported to this node:
+// identical structures and sizes, the node's voltage and clock, and the
+// same wall-clock off-chip latencies (whose cycle cost therefore shrinks
+// at slower clocks).
+func (n TechNode) Proc() Proc {
+	p := Base()
+	p.Name = fmt.Sprintf("base-%.0fnm", n.NodeNM)
+	p.FreqHz = n.FreqHz
+	p.VddV = n.VddV
+	return p
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ramp/internal/floorplan"
+)
+
+// Interval is one observation the engine folds into the application's
+// FIT value: a duration (used only as an averaging weight) and each
+// structure's operating conditions during it.
+type Interval struct {
+	DurationSec float64
+	Structures  [floorplan.NumStructures]Conditions
+}
+
+// Engine computes application-level FIT values (Section 3.6): it
+// evaluates instantaneous per-structure, per-mechanism FIT at every
+// observed interval and averages over time; thermal cycling instead uses
+// the run-average temperature, so it is evaluated once at the end.
+//
+// An Engine is the simulation-side realisation of RAMP; in hardware the
+// same computation would be driven by temperature sensors and activity
+// counters (Section 3).
+type Engine struct {
+	params Params
+	budget *Budget
+
+	timeSum float64
+	fitSum  [floorplan.NumStructures][3]float64 // EM, SM, TDDB time-weighted
+	tempSum [floorplan.NumStructures]float64    // time-weighted temperature
+	onSum   [floorplan.NumStructures]float64    // time-weighted on-fraction
+	maxTemp float64
+	n       int
+}
+
+// NewEngine builds an engine for a floorplan, parameter set and
+// qualification point.
+func NewEngine(fp *floorplan.Floorplan, p Params, q Qualification) (*Engine, error) {
+	b, err := NewBudget(fp, p, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{params: p, budget: b}, nil
+}
+
+// MustNewEngine is NewEngine, panicking on invalid inputs.
+func MustNewEngine(fp *floorplan.Floorplan, p Params, q Qualification) *Engine {
+	e, err := NewEngine(fp, p, q)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Budget exposes the engine's qualification budget.
+func (e *Engine) Budget() *Budget { return e.budget }
+
+// Params exposes the engine's device-model constants.
+func (e *Engine) Params() Params { return e.params }
+
+// Observe folds one interval into the running averages.
+func (e *Engine) Observe(iv Interval) error {
+	if iv.DurationSec <= 0 {
+		return fmt.Errorf("core: non-positive interval duration %v", iv.DurationSec)
+	}
+	w := iv.DurationSec
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		c := iv.Structures[s]
+		if c.TempK <= 0 {
+			return fmt.Errorf("core: non-positive temperature for %v", s)
+		}
+		e.fitSum[s][EM] += w * e.budget.InstantFIT(e.params, s, EM, c)
+		e.fitSum[s][SM] += w * e.budget.InstantFIT(e.params, s, SM, c)
+		e.fitSum[s][TDDB] += w * e.budget.InstantFIT(e.params, s, TDDB, c)
+		e.tempSum[s] += w * c.TempK
+		e.onSum[s] += w * c.OnFraction
+		if c.TempK > e.maxTemp {
+			e.maxTemp = c.TempK
+		}
+	}
+	e.timeSum += w
+	e.n++
+	return nil
+}
+
+// Reset clears all accumulated observations.
+func (e *Engine) Reset() {
+	*e = Engine{params: e.params, budget: e.budget}
+}
+
+// Assessment is the engine's verdict for the observed run.
+type Assessment struct {
+	// FIT by structure and mechanism (time-averaged; TC from the
+	// run-average temperature).
+	FIT [floorplan.NumStructures][NumMechanisms]float64
+
+	TotalFIT  float64
+	MTTFHours float64
+	MTTFYears float64
+
+	AvgTempK [floorplan.NumStructures]float64
+	MaxTempK float64
+
+	Intervals int
+	TimeSec   float64
+}
+
+// ByMechanism sums the assessment's FIT per mechanism.
+func (a Assessment) ByMechanism() [NumMechanisms]float64 {
+	var out [NumMechanisms]float64
+	for s := 0; s < int(floorplan.NumStructures); s++ {
+		for m := 0; m < int(NumMechanisms); m++ {
+			out[m] += a.FIT[s][m]
+		}
+	}
+	return out
+}
+
+// ByStructure sums the assessment's FIT per structure.
+func (a Assessment) ByStructure() [floorplan.NumStructures]float64 {
+	var out [floorplan.NumStructures]float64
+	for s := 0; s < int(floorplan.NumStructures); s++ {
+		for m := 0; m < int(NumMechanisms); m++ {
+			out[s] += a.FIT[s][m]
+		}
+	}
+	return out
+}
+
+// Assess computes the application FIT value from everything observed so
+// far. It returns an error if nothing was observed.
+func (e *Engine) Assess() (Assessment, error) {
+	if e.timeSum <= 0 {
+		return Assessment{}, fmt.Errorf("core: nothing observed")
+	}
+	var a Assessment
+	a.Intervals = e.n
+	a.TimeSec = e.timeSum
+	a.MaxTempK = e.maxTemp
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		avgT := e.tempSum[s] / e.timeSum
+		a.AvgTempK[s] = avgT
+		a.FIT[s][EM] = e.fitSum[s][EM] / e.timeSum
+		a.FIT[s][SM] = e.fitSum[s][SM] / e.timeSum
+		a.FIT[s][TDDB] = e.fitSum[s][TDDB] / e.timeSum
+		// Thermal cycling: the modelled cycle is between the structure's
+		// average temperature and ambient (Section 3.6).
+		tcCond := Conditions{TempK: avgT}
+		a.FIT[s][TC] = e.budget.InstantFIT(e.params, s, TC, tcCond)
+		for m := 0; m < int(NumMechanisms); m++ {
+			a.TotalFIT += a.FIT[s][m]
+		}
+	}
+	if a.TotalFIT > 0 {
+		a.MTTFHours = 1e9 / a.TotalFIT
+		a.MTTFYears = a.MTTFHours / 8760
+	} else {
+		a.MTTFHours = math.Inf(1)
+		a.MTTFYears = math.Inf(1)
+	}
+	return a, nil
+}
+
+// MustAssess is Assess, panicking if nothing was observed.
+func (e *Engine) MustAssess() Assessment {
+	a, err := e.Assess()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ConstantConditionsFIT is a convenience for steady-state analysis: the
+// total FIT if every structure ran forever at the given conditions.
+func ConstantConditionsFIT(fp *floorplan.Floorplan, p Params, q Qualification, c Conditions) (float64, error) {
+	e, err := NewEngine(fp, p, q)
+	if err != nil {
+		return 0, err
+	}
+	iv := Interval{DurationSec: 1}
+	for s := range iv.Structures {
+		iv.Structures[s] = c
+	}
+	if err := e.Observe(iv); err != nil {
+		return 0, err
+	}
+	a, err := e.Assess()
+	if err != nil {
+		return 0, err
+	}
+	return a.TotalFIT, nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// WorkloadComponent is one application's share of a workload mix.
+type WorkloadComponent struct {
+	Name string
+	// Weight is the fraction of machine time the application runs
+	// (normalised internally).
+	Weight float64
+	// FIT is the application's FIT value (from an Engine assessment).
+	FIT float64
+}
+
+// WorkloadFIT combines application FIT values into a workload FIT value
+// by time-weighted averaging, exactly as Section 3.6 prescribes: "To
+// determine the FIT value for a workload, we can use a weighted average
+// of the FIT values of the constituent applications."
+func WorkloadFIT(components []WorkloadComponent) (float64, error) {
+	if len(components) == 0 {
+		return 0, fmt.Errorf("core: empty workload")
+	}
+	var wSum, fitSum float64
+	for _, c := range components {
+		if c.Weight < 0 {
+			return 0, fmt.Errorf("core: negative weight for %s", c.Name)
+		}
+		if c.FIT < 0 {
+			return 0, fmt.Errorf("core: negative FIT for %s", c.Name)
+		}
+		wSum += c.Weight
+		fitSum += c.Weight * c.FIT
+	}
+	if wSum == 0 {
+		return 0, fmt.Errorf("core: workload has zero total weight")
+	}
+	return fitSum / wSum, nil
+}
+
+// WorkloadMTTFYears converts a workload FIT value to mean time to
+// failure in years.
+func WorkloadMTTFYears(fit float64) float64 {
+	if fit <= 0 {
+		return 0
+	}
+	return 1e9 / fit / 8760
+}

@@ -1,0 +1,167 @@
+package drm
+
+import (
+	"testing"
+
+	"ramp/internal/config"
+	"ramp/internal/exp"
+	"ramp/internal/trace"
+)
+
+func quickController(tqual float64, policy ControlPolicy) *Controller {
+	env := exp.NewEnv(exp.QuickOptions())
+	return NewController(env, env.Qualification(tqual), policy)
+}
+
+func TestControllerPolicyString(t *testing.T) {
+	if Instantaneous.String() != "Instantaneous" || Banked.String() != "Banked" {
+		t.Fatal("policy names broken")
+	}
+	if ControlPolicy(7).String() == "" {
+		t.Fatal("unknown policy name empty")
+	}
+}
+
+func TestControllerRejectsBadInputs(t *testing.T) {
+	c := quickController(370, Banked)
+	if _, err := c.Run(trace.Gzip(), 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	c.StepHz = 0
+	if _, err := c.Run(trace.Gzip(), 4); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestControllerHoldsTargetOnCheapDesign(t *testing.T) {
+	// Tqual=345K: the base point exceeds the target for MP3dec (the
+	// hottest app), so the controller must throttle until the cumulative
+	// FIT meets it.
+	c := quickController(345, Banked)
+	tr, err := c.Run(trace.MP3dec(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged {
+		t.Fatalf("controller did not meet the target: final FIT %.0f", tr.FinalFIT)
+	}
+	if tr.MeanGHz >= 4.0 {
+		t.Fatalf("cheap design not throttled: mean %.2f GHz", tr.MeanGHz)
+	}
+	for _, f := range tr.FreqGHz {
+		if f < config.MinFreqHz/1e9-1e-9 || f > config.MaxFreqHz/1e9+1e-9 {
+			t.Fatalf("frequency %v out of DVS range", f)
+		}
+	}
+}
+
+func TestControllerHarvestsSlackOnExpensiveDesign(t *testing.T) {
+	// Tqual=400K: plenty of margin; the controller should settle above
+	// the base clock while keeping the cumulative FIT under target.
+	c := quickController(400, Banked)
+	tr, err := c.Run(trace.Twolf(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged {
+		t.Fatalf("final FIT %.0f exceeds target", tr.FinalFIT)
+	}
+	last := tr.FreqGHz[len(tr.FreqGHz)-1]
+	if last <= 4.0 {
+		t.Fatalf("reliability slack not harvested: settled at %.2f GHz", last)
+	}
+}
+
+func TestControllerTracksOracle(t *testing.T) {
+	// The reactive controller (no oracle knowledge) should settle near
+	// the oracle's once-per-application DVS choice.
+	env := exp.NewEnv(exp.QuickOptions())
+	qual := env.Qualification(370)
+
+	oracle := NewOracle(env)
+	oracle.FreqStepHz = 0.25e9
+	sweep, err := oracle.Sweep(trace.Equake(), DVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := sweep.Select(env, qual)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl := NewController(env, qual, Banked)
+	tr, err := ctrl.Run(trace.Equake(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle window: the last third of the run.
+	tail := tr.FreqGHz[len(tr.FreqGHz)*2/3:]
+	var mean float64
+	for _, f := range tail {
+		mean += f
+	}
+	mean /= float64(len(tail))
+	oracleGHz := best.Proc.FreqHz / 1e9
+	if mean < oracleGHz-0.5 || mean > oracleGHz+0.5 {
+		t.Fatalf("controller settled at %.2f GHz, oracle chose %.2f GHz", mean, oracleGHz)
+	}
+}
+
+func TestBankedBeatsInstantaneousOnPhasedWorkload(t *testing.T) {
+	// MPGdec alternates hot and cool phases. Instantaneous control must
+	// throttle for the hottest interval; banked control spends budget
+	// banked in the cool phases, retaining more performance at the same
+	// cumulative reliability.
+	env := exp.NewEnv(exp.QuickOptions())
+	qual := env.Qualification(360)
+
+	inst := NewController(env, qual, Instantaneous)
+	trI, err := inst.Run(trace.MPGdec(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank := NewController(env, qual, Banked)
+	trB, err := bank.Run(trace.MPGdec(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trB.Converged {
+		t.Fatalf("banked controller missed the target: %.0f", trB.FinalFIT)
+	}
+	if trB.BIPS < trI.BIPS*0.98 {
+		t.Fatalf("banking lost performance: banked %.2f vs instantaneous %.2f BIPS",
+			trB.BIPS, trI.BIPS)
+	}
+}
+
+func TestControllerDeterministic(t *testing.T) {
+	run := func() ControlTrace {
+		c := quickController(370, Banked)
+		tr, err := c.Run(trace.Art(), 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if a.FinalFIT != b.FinalFIT || a.BIPS != b.BIPS || a.MeanGHz != b.MeanGHz {
+		t.Fatalf("controller not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestControlTraceBookkeeping(t *testing.T) {
+	c := quickController(370, Instantaneous)
+	tr, err := c.Run(trace.Bzip2(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.FreqGHz) != 8 || len(tr.EpochFIT) != 8 || len(tr.CumFIT) != 8 {
+		t.Fatalf("trace lengths: %d %d %d", len(tr.FreqGHz), len(tr.EpochFIT), len(tr.CumFIT))
+	}
+	if tr.Retired == 0 || tr.TimeSec <= 0 || tr.BIPS <= 0 {
+		t.Fatalf("aggregates: %+v", tr)
+	}
+	if tr.CumFIT[len(tr.CumFIT)-1] != tr.FinalFIT {
+		t.Fatal("final FIT != last cumulative sample")
+	}
+}

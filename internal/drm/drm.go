@@ -1,0 +1,190 @@
+// Package drm implements Dynamic Reliability Management (Section 4): the
+// processor adapts to the running application so that its lifetime
+// reliability (FIT value) meets the qualification target, throttling
+// performance on under-designed processors (cheap T_qual) and harvesting
+// extra performance on over-designed ones (expensive T_qual).
+//
+// As in the paper's evaluation (Section 5), the controller here is an
+// oracle that adapts once per application: it explores the adaptation
+// space, evaluates each configuration's performance and FIT with full
+// knowledge of the application, and picks the best-performing
+// configuration that still meets the target. Three adaptation spaces are
+// modelled:
+//
+//   - Arch: the 18 microarchitectural configurations (instruction window
+//     size, ALU count, FPU count) at the base voltage and frequency; the
+//     base machine is already the most aggressive configuration, so Arch
+//     can only reduce performance (relative performance <= 1).
+//   - DVS: dynamic voltage and frequency scaling from 2.5 to 5.0 GHz on
+//     the most aggressive microarchitecture.
+//   - ArchDVS: the cross product.
+package drm
+
+import (
+	"fmt"
+	"sort"
+
+	"ramp/internal/config"
+	"ramp/internal/core"
+	"ramp/internal/exp"
+	"ramp/internal/trace"
+)
+
+// Adaptation selects a DRM adaptation space.
+type Adaptation int
+
+// The paper's three adaptation spaces (Section 5).
+const (
+	Arch Adaptation = iota
+	DVS
+	ArchDVS
+)
+
+var adaptationNames = map[Adaptation]string{
+	Arch: "Arch", DVS: "DVS", ArchDVS: "ArchDVS",
+}
+
+// String returns the adaptation's paper name.
+func (a Adaptation) String() string {
+	if n, ok := adaptationNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("Adaptation(%d)", int(a))
+}
+
+// Oracle is the once-per-application oracular DRM controller.
+type Oracle struct {
+	Env *exp.Env
+	// FreqStepHz is the DVS exploration grid (default 0.125 GHz).
+	FreqStepHz float64
+}
+
+// NewOracle returns an oracle over env with the default DVS grid.
+func NewOracle(env *exp.Env) *Oracle {
+	return &Oracle{Env: env, FreqStepHz: 0.125e9}
+}
+
+// Candidates returns the adaptation space's configurations.
+func (o *Oracle) Candidates(a Adaptation) []config.Proc {
+	switch a {
+	case Arch:
+		return config.ArchConfigs()
+	case DVS:
+		var out []config.Proc
+		for _, f := range config.DVSFrequencies(o.FreqStepHz) {
+			out = append(out, o.Env.Base.WithOperatingPoint(f))
+		}
+		return out
+	case ArchDVS:
+		var out []config.Proc
+		for _, arch := range config.ArchConfigs() {
+			for _, f := range config.DVSFrequencies(o.FreqStepHz) {
+				out = append(out, arch.WithOperatingPoint(f))
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("drm: unknown adaptation %v", a))
+	}
+}
+
+// Sweep holds the evaluated adaptation space for one application,
+// reusable across qualification points (the expensive part — simulation,
+// power, thermal — does not depend on T_qual).
+type Sweep struct {
+	App        trace.Profile
+	Base       exp.Result
+	Candidates []exp.Result
+}
+
+// Sweep evaluates the base machine and every candidate configuration for
+// app. The qualification used here only fills the initial assessments;
+// Select requalifies against the point of interest.
+func (o *Oracle) Sweep(app trace.Profile, a Adaptation) (*Sweep, error) {
+	qual := o.Env.Qualification(400) // placeholder; Select requalifies
+	cands := o.Candidates(a)
+	jobs := make([]exp.EvalJob, 0, len(cands)+1)
+	jobs = append(jobs, exp.EvalJob{App: app, Proc: o.Env.Base, Qual: qual})
+	for _, c := range cands {
+		jobs = append(jobs, exp.EvalJob{App: app, Proc: c, Qual: qual})
+	}
+	results, err := o.Env.EvaluateAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{App: app, Base: results[0], Candidates: results[1:]}, nil
+}
+
+// Choice is the oracle's decision for one qualification point.
+type Choice struct {
+	Proc    config.Proc
+	Result  exp.Result
+	FIT     float64
+	RelPerf float64 // BIPS relative to the base non-adaptive machine
+	// Feasible reports whether any configuration met the FIT target; if
+	// none did, the choice is the configuration with the lowest FIT (the
+	// processor throttles as far as it can and still fails its
+	// qualification — an unacceptable design point, Section 4).
+	Feasible bool
+}
+
+// Select picks the best-performing candidate meeting the FIT target at
+// the given qualification point.
+func (s *Sweep) Select(env *exp.Env, qual core.Qualification) (Choice, error) {
+	var best Choice
+	var fallback Choice
+	fallbackSet := false
+	for _, r := range s.Candidates {
+		a, err := env.Requalify(r, qual)
+		if err != nil {
+			return Choice{}, err
+		}
+		rel := r.BIPS / s.Base.BIPS
+		c := Choice{Proc: r.Proc, Result: r, FIT: a.TotalFIT, RelPerf: rel}
+		if a.TotalFIT <= qual.TargetFIT {
+			c.Feasible = true
+			if !best.Feasible || rel > best.RelPerf {
+				best = c
+			}
+		}
+		if !fallbackSet || a.TotalFIT < fallback.FIT {
+			fallback = c
+			fallbackSet = true
+		}
+	}
+	if best.Feasible {
+		return best, nil
+	}
+	if !fallbackSet {
+		return Choice{}, fmt.Errorf("drm: empty candidate set")
+	}
+	return fallback, nil
+}
+
+// Best runs a full sweep and selects for one qualification point.
+func (o *Oracle) Best(app trace.Profile, a Adaptation, qual core.Qualification) (Choice, error) {
+	s, err := o.Sweep(app, a)
+	if err != nil {
+		return Choice{}, err
+	}
+	return s.Select(o.Env, qual)
+}
+
+// FrequencyChoice returns, for a DVS-only sweep, the frequency the
+// oracle picks at the given qualification point (used by the DRM-vs-DTM
+// comparison, Figure 4).
+func (s *Sweep) FrequencyChoice(env *exp.Env, qual core.Qualification) (float64, Choice, error) {
+	c, err := s.Select(env, qual)
+	if err != nil {
+		return 0, Choice{}, err
+	}
+	return c.Proc.FreqHz, c, nil
+}
+
+// SortedByPerf returns the sweep's results ordered by descending BIPS
+// (diagnostic helper).
+func (s *Sweep) SortedByPerf() []exp.Result {
+	out := append([]exp.Result(nil), s.Candidates...)
+	sort.Slice(out, func(i, j int) bool { return out[i].BIPS > out[j].BIPS })
+	return out
+}

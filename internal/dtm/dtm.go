@@ -1,0 +1,100 @@
+// Package dtm implements DVS-based Dynamic Thermal Management for the
+// DRM-vs-DTM comparison of Section 7.3.
+//
+// DTM enforces a thermal design point T_max: the processor must never
+// exceed it. The oracular controller here mirrors the paper's: for each
+// application it picks the highest DVS operating point whose peak on-chip
+// temperature stays at or below T_max. Unlike DRM's T_qual, T_max is a
+// hard instantaneous constraint — reliability cannot be banked over time
+// against it (Section 4), which is precisely why neither technique
+// subsumes the other.
+package dtm
+
+import (
+	"fmt"
+
+	"ramp/internal/config"
+	"ramp/internal/exp"
+	"ramp/internal/trace"
+)
+
+// Choice is the DTM controller's decision.
+type Choice struct {
+	Proc     config.Proc
+	Result   exp.Result
+	MaxTempK float64
+	RelPerf  float64 // BIPS relative to the base machine
+	// Feasible reports whether any operating point respected T_max; if
+	// none did, the choice is the coolest one.
+	Feasible bool
+}
+
+// Oracle is the once-per-application oracular DTM controller.
+type Oracle struct {
+	Env        *exp.Env
+	FreqStepHz float64
+}
+
+// NewOracle returns a DTM oracle with the default DVS grid.
+func NewOracle(env *exp.Env) *Oracle {
+	return &Oracle{Env: env, FreqStepHz: 0.125e9}
+}
+
+// Sweep holds evaluated DVS operating points for one application,
+// reusable across thermal design points.
+type Sweep struct {
+	App        trace.Profile
+	Base       exp.Result
+	Candidates []exp.Result
+}
+
+// Sweep evaluates the base machine and the full DVS ladder for app.
+func (o *Oracle) Sweep(app trace.Profile) (*Sweep, error) {
+	qual := o.Env.Qualification(400) // DTM ignores reliability; any point works
+	jobs := []exp.EvalJob{{App: app, Proc: o.Env.Base, Qual: qual}}
+	for _, f := range config.DVSFrequencies(o.FreqStepHz) {
+		jobs = append(jobs, exp.EvalJob{App: app, Proc: o.Env.Base.WithOperatingPoint(f), Qual: qual})
+	}
+	results, err := o.Env.EvaluateAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Sweep{App: app, Base: results[0], Candidates: results[1:]}, nil
+}
+
+// Select picks the best-performing operating point whose peak
+// temperature respects tmaxK.
+func (s *Sweep) Select(tmaxK float64) (Choice, error) {
+	if len(s.Candidates) == 0 {
+		return Choice{}, fmt.Errorf("dtm: empty candidate set")
+	}
+	var best Choice
+	coolest := Choice{MaxTempK: s.Candidates[0].MaxTempK, Proc: s.Candidates[0].Proc, Result: s.Candidates[0]}
+	for _, r := range s.Candidates {
+		rel := r.BIPS / s.Base.BIPS
+		c := Choice{Proc: r.Proc, Result: r, MaxTempK: r.MaxTempK, RelPerf: rel}
+		if r.MaxTempK <= tmaxK {
+			c.Feasible = true
+			if !best.Feasible || rel > best.RelPerf {
+				best = c
+			}
+		}
+		if r.MaxTempK < coolest.MaxTempK {
+			coolest = c
+		}
+	}
+	if best.Feasible {
+		return best, nil
+	}
+	coolest.RelPerf = coolest.Result.BIPS / s.Base.BIPS
+	return coolest, nil
+}
+
+// Best runs a sweep and selects for one thermal design point.
+func (o *Oracle) Best(app trace.Profile, tmaxK float64) (Choice, error) {
+	s, err := o.Sweep(app)
+	if err != nil {
+		return Choice{}, err
+	}
+	return s.Select(tmaxK)
+}

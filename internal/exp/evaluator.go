@@ -1,0 +1,344 @@
+// Package exp is the experiment harness: it glues the timing simulator,
+// power model, thermal model and RAMP together exactly as Section 6.3
+// describes, and regenerates every table and figure of the paper's
+// evaluation (Section 7).
+//
+// One Evaluate call reproduces the paper's per-run methodology:
+//
+//  1. Simulate the application in epochs, collecting per-epoch activity.
+//  2. First pass: average power at an assumed temperature initialises
+//     the heat-sink steady-state temperature (the sink's RC constant is
+//     far larger than any simulated run).
+//  3. Second pass: per-epoch block temperatures from the quasi-steady
+//     thermal solve with the sink pinned, iterating the
+//     leakage-temperature feedback to a fixed point per epoch.
+//  4. RAMP folds every epoch's conditions into the application FIT value.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ramp/internal/config"
+	"ramp/internal/core"
+	"ramp/internal/floorplan"
+	"ramp/internal/power"
+	"ramp/internal/sim"
+	"ramp/internal/stats"
+	"ramp/internal/thermal"
+	"ramp/internal/trace"
+)
+
+// Options controls simulation length and methodology knobs.
+type Options struct {
+	WarmupInstrs uint64 // instructions simulated before measurement
+	EpochInstrs  uint64 // instructions per epoch
+	Epochs       int    // measured epochs
+	Seed         int64
+
+	// LeakageIters is the number of power<->temperature fixed-point
+	// iterations per epoch; SinkPasses the number of heat-sink passes
+	// (the paper uses two).
+	LeakageIters int
+	SinkPasses   int
+}
+
+// DefaultOptions returns run lengths that reach cache steady state for
+// the built-in workloads while keeping full adaptation sweeps tractable.
+func DefaultOptions() Options {
+	return Options{
+		WarmupInstrs: 300_000,
+		EpochInstrs:  100_000,
+		Epochs:       6,
+		Seed:         1,
+		LeakageIters: 4,
+		SinkPasses:   2,
+	}
+}
+
+// QuickOptions returns much shorter runs for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		WarmupInstrs: 60_000,
+		EpochInstrs:  40_000,
+		Epochs:       3,
+		Seed:         1,
+		LeakageIters: 3,
+		SinkPasses:   2,
+	}
+}
+
+// Env bundles the shared models of one experimental setup. It is
+// immutable after construction and safe for concurrent Evaluate calls.
+type Env struct {
+	Tech    config.Tech
+	Base    config.Proc
+	FP      *floorplan.Floorplan
+	Power   *power.Model
+	Thermal *thermal.Model
+	Params  core.Params
+	Opts    Options
+}
+
+// NewEnv builds the standard environment: 65 nm technology, Table 1 base
+// processor, R10000-like floorplan, default power budget and package.
+func NewEnv(opts Options) *Env {
+	tech := config.Tech65nm()
+	fp := floorplan.R10000Like()
+	return &Env{
+		Tech:    tech,
+		Base:    config.Base(),
+		FP:      fp,
+		Power:   power.NewModel(fp, tech),
+		Thermal: thermal.MustNew(fp, thermal.DefaultParams(tech.AmbientK)),
+		Params:  core.DefaultParams(core.TCAmbientK),
+		Opts:    opts,
+	}
+}
+
+// NewCustomEnv builds an environment from explicit parts — used by the
+// technology-scaling study, which ports the base microarchitecture
+// across process nodes with scaled floorplans and power budgets.
+func NewCustomEnv(tech config.Tech, base config.Proc, fp *floorplan.Floorplan, budget power.Vector, opts Options) *Env {
+	return &Env{
+		Tech:    tech,
+		Base:    base,
+		FP:      fp,
+		Power:   power.NewModelWithBudget(fp, tech, budget),
+		Thermal: thermal.MustNew(fp, thermal.DefaultParams(tech.AmbientK)),
+		Params:  core.DefaultParams(core.TCAmbientK),
+		Opts:    opts,
+	}
+}
+
+// Qualification returns the qualification point for a given T_qual using
+// the environment's base operating point and suite activity (Section
+// 3.7: V_qual and f_qual are the base processor's, A_qual is the highest
+// activity factor across the suite).
+func (e *Env) Qualification(tqualK float64) core.Qualification {
+	return core.Qualification{
+		TqualK:    tqualK,
+		VqualV:    e.Base.VddV,
+		FqualHz:   e.Base.FreqHz,
+		Aqual:     SuiteMaxActivity,
+		TargetFIT: core.StandardTargetFIT,
+	}
+}
+
+// SuiteMaxActivity is A_qual: the highest per-structure activity factor
+// observed across the nine-application suite on the base processor
+// (measured by TestSuiteMaxActivity; the AGU/LSQ/L1D cluster of the
+// highest-IPC multimedia codes sets it).
+const SuiteMaxActivity = 0.52
+
+// EpochRow records one epoch's observables.
+type EpochRow struct {
+	Sim      sim.Result
+	PowerW   power.Vector
+	TempK    power.Vector
+	TotalW   float64
+	MaxTempK float64
+}
+
+// Result is the outcome of evaluating one (application, configuration)
+// pair.
+type Result struct {
+	App  string
+	Proc config.Proc
+
+	IPC      float64
+	BIPS     float64
+	AvgW     float64
+	MaxTempK float64
+	AvgTempK float64 // area-weighted average die temperature
+	SinkK    float64
+
+	Assessment core.Assessment
+	Epochs     []EpochRow
+}
+
+// FIT returns the run's total FIT value.
+func (r Result) FIT() float64 { return r.Assessment.TotalFIT }
+
+// Evaluate runs app on proc and returns performance, power, thermal and
+// reliability results. qual sets the RAMP qualification point.
+func (e *Env) Evaluate(app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
+	gen, err := trace.NewGenerator(app, e.Opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	c, err := sim.New(proc, gen)
+	if err != nil {
+		return Result{}, err
+	}
+	if e.Opts.WarmupInstrs > 0 {
+		c.Run(e.Opts.WarmupInstrs)
+	}
+	epochs := make([]EpochRow, e.Opts.Epochs)
+	for i := range epochs {
+		epochs[i].Sim = c.Run(e.Opts.EpochInstrs)
+	}
+
+	on := power.OnFractions(proc, e.Base)
+
+	// Heat-sink passes: estimate average power, derive the sink
+	// steady-state temperature, recompute temperatures, repeat.
+	sinkK := e.Tech.AmbientK + 30 // initial guess
+	var avgW float64
+	for pass := 0; pass < max(1, e.Opts.SinkPasses); pass++ {
+		var wSum, tSum float64
+		for i := range epochs {
+			row := &epochs[i]
+			row.TempK, row.PowerW = e.epochFixedPoint(row.Sim.Activity, on, proc, sinkK)
+			row.TotalW = row.PowerW.Sum()
+			_, row.MaxTempK = thermal.MaxBlock(row.TempK)
+			wSum += row.TotalW * row.Sim.TimeSec
+			tSum += row.Sim.TimeSec
+		}
+		avgW = wSum / tSum
+		sinkK = e.Thermal.SinkSteadyTemp(avgW)
+	}
+
+	// RAMP accumulation.
+	engine, err := core.NewEngine(e.FP, e.Params, qual)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.App = app.Name
+	res.Proc = proc
+	var ipcMean, dieTempMean stats.Mean
+	var timeSum, retired float64
+	for i := range epochs {
+		row := &epochs[i]
+		iv := core.Interval{DurationSec: row.Sim.TimeSec}
+		for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+			iv.Structures[s] = core.Conditions{
+				TempK:      row.TempK[s],
+				VddV:       proc.VddV,
+				FreqHz:     proc.FreqHz,
+				Activity:   row.Sim.Activity[s],
+				OnFraction: on[s],
+			}
+		}
+		if err := engine.Observe(iv); err != nil {
+			return Result{}, err
+		}
+		timeSum += row.Sim.TimeSec
+		retired += float64(row.Sim.Retired)
+		ipcMean.AddWeighted(row.Sim.IPC, row.Sim.TimeSec)
+		if row.MaxTempK > res.MaxTempK {
+			res.MaxTempK = row.MaxTempK
+		}
+		var at float64
+		for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+			at += row.TempK[s] * e.FP.AreaFraction(s)
+		}
+		dieTempMean.AddWeighted(at, row.Sim.TimeSec)
+	}
+	res.IPC = ipcMean.Value()
+	res.BIPS = retired / timeSum / 1e9
+	res.AvgW = avgW
+	res.AvgTempK = dieTempMean.Value()
+	res.SinkK = sinkK
+	res.Assessment, err = engine.Assess()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Epochs = epochs
+	return res, nil
+}
+
+// EpochConditions iterates the leakage-temperature feedback for one
+// epoch — temperatures determine leakage, leakage determines power,
+// power determines temperatures — and returns the per-structure
+// temperatures and powers. It is the building block reactive controllers
+// use to evaluate epochs online.
+func (e *Env) EpochConditions(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector) {
+	return e.epochFixedPoint(activity, on, proc, sinkK)
+}
+
+// epochFixedPoint iterates the leakage-temperature feedback for one
+// epoch: temperatures determine leakage, leakage determines power,
+// power determines temperatures.
+func (e *Env) epochFixedPoint(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector) {
+	var act power.Vector
+	copy(act[:], activity[:])
+	temps = power.Uniform(sinkK + 15)
+	iters := max(1, e.Opts.LeakageIters)
+	for i := 0; i < iters; i++ {
+		pw = e.Power.Compute(act, on, temps, proc.VddV, proc.FreqHz)
+		temps = e.Thermal.QuasiSteady(pw, sinkK)
+	}
+	return temps, pw
+}
+
+// Requalify recomputes the RAMP assessment of an existing Result under a
+// different qualification point, reusing the stored per-epoch simulation
+// and thermal data. Simulation, power and temperature do not depend on
+// the qualification point, so exploring many T_qual values only needs one
+// Evaluate per (application, configuration).
+func (e *Env) Requalify(r Result, qual core.Qualification) (core.Assessment, error) {
+	engine, err := core.NewEngine(e.FP, e.Params, qual)
+	if err != nil {
+		return core.Assessment{}, err
+	}
+	on := power.OnFractions(r.Proc, e.Base)
+	for i := range r.Epochs {
+		row := &r.Epochs[i]
+		iv := core.Interval{DurationSec: row.Sim.TimeSec}
+		for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+			iv.Structures[s] = core.Conditions{
+				TempK:      row.TempK[s],
+				VddV:       r.Proc.VddV,
+				FreqHz:     r.Proc.FreqHz,
+				Activity:   row.Sim.Activity[s],
+				OnFraction: on[s],
+			}
+		}
+		if err := engine.Observe(iv); err != nil {
+			return core.Assessment{}, err
+		}
+	}
+	return engine.Assess()
+}
+
+// EvalJob names one (application, processor, qualification) evaluation.
+type EvalJob struct {
+	App  trace.Profile
+	Proc config.Proc
+	Qual core.Qualification
+}
+
+// EvaluateAll runs the jobs concurrently (they are independent) and
+// returns results in job order. The first error aborts the batch.
+func (e *Env) EvaluateAll(jobs []EvalJob) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Evaluate(jobs[i].App, jobs[i].Proc, jobs[i].Qual)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: job %d (%s/%s): %w", i, jobs[i].App.Name, jobs[i].Proc.Name, err)
+		}
+	}
+	return results, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

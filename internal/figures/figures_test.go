@@ -1,0 +1,178 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"ramp/internal/exp"
+	"ramp/internal/trace"
+)
+
+func quickEnv() *exp.Env { return exp.NewEnv(exp.QuickOptions()) }
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	NewTable1(quickEnv()).Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"65 nm", "4.0 GHz", "128 entries", "2KB bimodal agree", "20.25 mm^2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	env := quickEnv()
+	rows, err := Table2(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("Table 2 has %d rows", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		if r.IPC <= 0 || r.PowerW <= 0 {
+			t.Errorf("%s: non-positive measurements %+v", r.App, r)
+		}
+		byName[r.App] = r
+	}
+	// The essential Table 2 shape: multimedia codes are hotter and
+	// higher-IPC than the SpecInt/FP laggards.
+	if byName["MP3dec"].IPC <= byName["twolf"].IPC {
+		t.Error("multimedia IPC should exceed twolf")
+	}
+	if byName["MP3dec"].PowerW <= byName["twolf"].PowerW {
+		t.Error("multimedia power should exceed twolf")
+	}
+	var sb strings.Builder
+	WriteTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "MPGdec") {
+		t.Error("Table 2 output missing applications")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	env := quickEnv()
+	rows, err := Figure1(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Figure 1 has %d rows, want 2 apps x 3 Tquals", len(rows))
+	}
+	// FIT grows as Tqual falls, for both applications.
+	for app := 0; app < 2; app++ {
+		base := app * 3
+		if !(rows[base].FIT < rows[base+1].FIT && rows[base+1].FIT < rows[base+2].FIT) {
+			t.Errorf("FIT not increasing with cheaper qualification: %+v", rows[base:base+3])
+		}
+	}
+	// The hot app (MP3dec) has higher FIT than the cool app (twolf) at
+	// every design point.
+	for i := 0; i < 3; i++ {
+		if rows[i].FIT <= rows[i+3].FIT {
+			t.Errorf("hot app not above cool app at %vK", rows[i].TqualK)
+		}
+	}
+	var sb strings.Builder
+	WriteFigure1(&sb, rows)
+	if !strings.Contains(sb.String(), "target") {
+		t.Error("Figure 1 output missing target")
+	}
+}
+
+func TestFigure2SingleApp(t *testing.T) {
+	env := quickEnv()
+	rows, err := Figure2(env, []trace.Profile{trace.Twolf()}, 0.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	r := rows[0]
+	if len(r.RelPerf) != len(Figure2TqualsK) {
+		t.Fatalf("series length %d", len(r.RelPerf))
+	}
+	// Monotone: cheaper qualification never improves performance.
+	for i := 1; i < len(r.RelPerf); i++ {
+		if r.RelPerf[i] > r.RelPerf[i-1]+1e-9 {
+			t.Fatalf("RelPerf rose as Tqual fell: %v", r.RelPerf)
+		}
+	}
+	// At the worst-case 400 K design point the app gains performance.
+	if r.RelPerf[0] < 1 {
+		t.Fatalf("no gain at Tqual=400K: %v", r.RelPerf[0])
+	}
+	var sb strings.Builder
+	WriteFigure2(&sb, rows)
+	if !strings.Contains(sb.String(), "twolf") {
+		t.Error("Figure 2 output missing app")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	env := quickEnv()
+	rows, err := Figure3(env, trace.Twolf(), 0.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d adaptation rows", len(rows))
+	}
+	byName := map[string][]float64{}
+	for _, r := range rows {
+		if len(r.RelPerf) != len(Figure3TqualsK) {
+			t.Fatalf("series length %d", len(r.RelPerf))
+		}
+		byName[r.Adaptation] = r.RelPerf
+	}
+	// DVS and ArchDVS dominate Arch at every point (Section 7.2), and
+	// ArchDVS is at least as good as DVS (it is a superset).
+	for i := range Figure3TqualsK {
+		if byName["Arch"][i] > byName["DVS"][i]+1e-9 {
+			t.Errorf("Arch beat DVS at %vK", Figure3TqualsK[i])
+		}
+		if byName["DVS"][i] > byName["ArchDVS"][i]+1e-9 {
+			t.Errorf("DVS beat ArchDVS at %vK", Figure3TqualsK[i])
+		}
+	}
+	var sb strings.Builder
+	WriteFigure3(&sb, "twolf", rows)
+	if !strings.Contains(sb.String(), "ArchDVS") {
+		t.Error("Figure 3 output missing adaptations")
+	}
+}
+
+func TestFigure4SingleApp(t *testing.T) {
+	env := quickEnv()
+	rows, err := Figure4(env, []trace.Profile{trace.Gzip()}, 0.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.DRMFreqGHz) != len(Figure4TempsK) || len(r.DTMFreqGHz) != len(Figure4TempsK) {
+		t.Fatalf("series lengths %d/%d", len(r.DRMFreqGHz), len(r.DTMFreqGHz))
+	}
+	// Both curves rise with temperature, and the DTM curve is steeper:
+	// below the crossover DTM is slower, above it DTM is faster.
+	dtmRange := r.DTMFreqGHz[len(r.DTMFreqGHz)-1] - r.DTMFreqGHz[0]
+	drmRange := r.DRMFreqGHz[len(r.DRMFreqGHz)-1] - r.DRMFreqGHz[0]
+	if dtmRange <= drmRange {
+		t.Fatalf("DVS-Temp (%v GHz span) not steeper than DVS-Rel (%v GHz span)",
+			dtmRange, drmRange)
+	}
+	if r.DTMFreqGHz[0] > r.DRMFreqGHz[0] {
+		t.Fatalf("at the coldest point DTM should be the stricter constraint")
+	}
+	last := len(Figure4TempsK) - 1
+	if r.DTMFreqGHz[last] < r.DRMFreqGHz[last] {
+		t.Fatalf("at the hottest point DRM should be the stricter constraint")
+	}
+	var sb strings.Builder
+	WriteFigure4(&sb, rows)
+	if !strings.Contains(sb.String(), "DVS-Rel") || !strings.Contains(sb.String(), "DVS-Temp") {
+		t.Error("Figure 4 output missing series")
+	}
+}

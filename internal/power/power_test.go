@@ -1,0 +1,152 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ramp/internal/config"
+	"ramp/internal/floorplan"
+)
+
+func model() *Model {
+	return NewModel(floorplan.R10000Like(), config.Tech65nm())
+}
+
+func TestDynamicIdleFloor(t *testing.T) {
+	m := model()
+	idle := m.Dynamic(floorplan.IntALU, 0, 1.0, 4e9, 1)
+	max := m.Dynamic(floorplan.IntALU, 1, 1.0, 4e9, 1)
+	if math.Abs(idle/max-IdleFraction) > 1e-12 {
+		t.Fatalf("idle/max = %v, want %v", idle/max, IdleFraction)
+	}
+	if max != m.MaxDynamic()[floorplan.IntALU] {
+		t.Fatalf("full-activity power %v != budget %v", max, m.MaxDynamic()[floorplan.IntALU])
+	}
+}
+
+func TestDynamicScalesWithV2F(t *testing.T) {
+	m := model()
+	base := m.Dynamic(floorplan.Window, 0.5, 1.0, 4e9, 1)
+	halfF := m.Dynamic(floorplan.Window, 0.5, 1.0, 2e9, 1)
+	if math.Abs(halfF/base-0.5) > 1e-12 {
+		t.Fatalf("frequency scaling broken: %v", halfF/base)
+	}
+	loV := m.Dynamic(floorplan.Window, 0.5, 0.8, 4e9, 1)
+	if math.Abs(loV/base-0.64) > 1e-12 {
+		t.Fatalf("voltage scaling broken: %v", loV/base)
+	}
+}
+
+func TestDynamicGating(t *testing.T) {
+	m := model()
+	full := m.Dynamic(floorplan.FPU, 0.3, 1.0, 4e9, 1)
+	half := m.Dynamic(floorplan.FPU, 0.3, 1.0, 4e9, 0.5)
+	off := m.Dynamic(floorplan.FPU, 0.3, 1.0, 4e9, 0)
+	if math.Abs(half/full-0.5) > 1e-12 || off != 0 {
+		t.Fatalf("gating scaling broken: %v %v", half/full, off)
+	}
+}
+
+func TestDynamicPanicsOnBadActivity(t *testing.T) {
+	m := model()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Dynamic(floorplan.L1D, 1.5, 1.0, 4e9, 1)
+}
+
+func TestLeakageReference(t *testing.T) {
+	m := model()
+	fp := floorplan.R10000Like()
+	// At the reference temperature (383 K) and nominal voltage the total
+	// leakage is 0.5 W/mm^2 over the whole die (Section 6.3).
+	var sum float64
+	for _, s := range floorplan.Structures() {
+		sum += m.Leakage(s, 383, 1.0, 1)
+	}
+	want := 0.5 * fp.TotalAreaMM2()
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("leakage at reference = %v, want %v", sum, want)
+	}
+}
+
+func TestLeakageTemperatureExponential(t *testing.T) {
+	m := model()
+	l380 := m.Leakage(floorplan.L1D, 380, 1.0, 1)
+	l390 := m.Leakage(floorplan.L1D, 390, 1.0, 1)
+	wantRatio := math.Exp(0.017 * 10)
+	if math.Abs(l390/l380-wantRatio) > 1e-9 {
+		t.Fatalf("leakage ratio = %v, want %v", l390/l380, wantRatio)
+	}
+}
+
+func TestComputeSumsDynamicAndLeakage(t *testing.T) {
+	m := model()
+	act := Uniform(0.3)
+	temps := Uniform(360)
+	on := Ones()
+	total := m.Compute(act, on, temps, 1.0, 4e9)
+	for _, s := range floorplan.Structures() {
+		want := m.Dynamic(s, 0.3, 1.0, 4e9, 1) + m.Leakage(s, 360, 1.0, 1)
+		if math.Abs(total[s]-want) > 1e-12 {
+			t.Fatalf("Compute[%v] = %v, want %v", s, total[s], want)
+		}
+	}
+}
+
+func TestVectorSum(t *testing.T) {
+	v := Uniform(2)
+	if v.Sum() != 2*float64(floorplan.NumStructures) {
+		t.Fatalf("sum = %v", v.Sum())
+	}
+}
+
+func TestOnFractionsVector(t *testing.T) {
+	base := config.Base()
+	small := base
+	small.WindowSize = 32
+	small.IntALUs = 2
+	small.FPUs = 1
+	v := OnFractions(small, base)
+	if v[floorplan.Window] != 0.25 || v[floorplan.FPU] != 0.25 {
+		t.Fatalf("window/fpu fractions %v %v", v[floorplan.Window], v[floorplan.FPU])
+	}
+	// Non-adaptive structures stay fully on.
+	for _, s := range []floorplan.Structure{floorplan.Fetch, floorplan.BPred, floorplan.L1I, floorplan.L1D, floorplan.AGU} {
+		if v[s] != 1 {
+			t.Fatalf("%v gated: %v", s, v[s])
+		}
+	}
+}
+
+// Property: total power is monotone in activity, voltage, frequency and
+// temperature.
+func TestPowerMonotonicity(t *testing.T) {
+	m := model()
+	f := func(a1, a2 float64, raw uint8) bool {
+		a1 = clamp01(a1)
+		a2 = clamp01(a2)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		s := floorplan.Structure(int(raw) % int(floorplan.NumStructures))
+		if m.Dynamic(s, a1, 1.0, 4e9, 1) > m.Dynamic(s, a2, 1.0, 4e9, 1)+1e-12 {
+			return false
+		}
+		return m.Leakage(s, 350, 1.0, 1) <= m.Leakage(s, 360, 1.0, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}

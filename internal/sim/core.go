@@ -1,0 +1,650 @@
+// Package sim is a trace-driven, cycle-level out-of-order processor
+// timing simulator in the spirit of RSIM (the paper's timing simulator).
+//
+// The model: an 8-wide front end with a bimodal-agree branch predictor
+// and return address stack feeding, after a short pipeline delay, a
+// unified instruction window (issue queue + reorder buffer, Section 6.1)
+// with a separate physical register file. Instructions issue oldest-first
+// to per-class functional units (integer ALUs, FPUs, address-generation
+// units), loads and stores flow through a memory queue and a two-ported
+// L1D with a finite MSHR file, misses go to an off-chip L2 and then main
+// memory with fixed wall-clock latencies (so their cycle cost scales with
+// the clock under DVS), and completed instructions retire in order.
+//
+// Because the simulator is trace-driven, branch mispredictions are
+// modelled as fetch stalls from the mispredicted branch until one cycle
+// after it resolves (plus the front-end refill depth) rather than by
+// executing wrong-path instructions.
+//
+// Alongside timing, the simulator counts per-structure events and
+// converts them into the activity factors that drive the power model and
+// RAMP's electromigration model.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ramp/internal/config"
+	"ramp/internal/floorplan"
+	"ramp/internal/trace"
+)
+
+const farFuture = math.MaxUint64 / 2
+
+// Result summarises one simulated run (or epoch).
+type Result struct {
+	Cycles  uint64
+	Retired uint64
+
+	// TimeSec is Cycles at the configured clock.
+	TimeSec float64
+
+	// IPC is Retired/Cycles.
+	IPC float64
+
+	// Activity factors per structure, in [0,1]: the utilisation of each
+	// structure's per-cycle capacity. These drive dynamic power and the
+	// electromigration model.
+	Activity [floorplan.NumStructures]float64
+
+	// Diagnostics.
+	BranchAccuracy  float64
+	L1DMissRate     float64
+	L1IMissRate     float64
+	L2MissRate      float64
+	WindowOccupancy float64 // mean occupied window entries
+	FPShare         float64 // fraction of retired instructions that are FP
+}
+
+// BIPS returns billions of instructions per second for the run.
+func (r Result) BIPS() float64 {
+	if r.TimeSec == 0 {
+		return 0
+	}
+	return float64(r.Retired) / r.TimeSec / 1e9
+}
+
+type entry struct {
+	instr  trace.Instr
+	seq    uint64
+	dep1   uint64 // absolute producer seq; 0 = none
+	dep2   uint64
+	finish uint64 // cycle the result is available; farFuture until issued
+	issued bool
+}
+
+type fetchedInstr struct {
+	instr   trace.Instr
+	seq     uint64
+	availAt uint64 // cycle the instruction reaches rename
+}
+
+// counters collects raw per-structure event counts for one epoch.
+type counters struct {
+	fetched       uint64
+	bpredAccesses uint64
+	winDispatch   uint64
+	winIssue      uint64
+	winRetire     uint64
+	intRFReads    uint64
+	intRFWrites   uint64
+	fpRFReads     uint64
+	fpRFWrites    uint64
+	intOps        uint64
+	aguOps        uint64
+	fpOps         uint64
+	lsqOps        uint64
+	l1iAccesses   uint64
+	l1dAccesses   uint64
+	occupancySum  uint64
+	fpRetired     uint64
+
+	branchLookups0    uint64
+	branchWrong0      uint64
+	l1dAcc0, l1dMiss0 uint64
+	l1iAcc0, l1iMiss0 uint64
+	l2Acc0, l2Miss0   uint64
+}
+
+// Source produces the dynamic instruction stream a Core executes.
+// *trace.Generator is the production implementation.
+type Source interface {
+	Next(*trace.Instr)
+}
+
+// Core is one simulated processor executing one application trace.
+type Core struct {
+	cfg config.Proc
+	gen Source
+
+	cycle uint64
+	seq   uint64 // next sequence number to assign at fetch (first is 1)
+
+	// Fetch state.
+	fetchQ       []fetchedInstr
+	fetchQCap    int
+	fetchBlocked uint64 // seq of unresolved mispredicted branch; 0 = none
+	fetchStallTo uint64 // cycle until which fetch is stalled (I-miss / redirect)
+	lastLine     uint64 // last I-cache line touched (+1; 0 = none)
+
+	bpred *BPred
+
+	// Window.
+	win      []entry
+	winHead  int
+	winCount int
+	memQUsed int
+
+	// Completion-time history, indexed by seq. Large enough to cover any
+	// dependency distance plus the window.
+	hist [2048]uint64
+
+	// Functional-unit non-pipelined busy tracking.
+	intBusyUntil []uint64
+	fpBusyUntil  []uint64
+
+	// Memory hierarchy.
+	l1d, l1i, l2 *Cache
+	dMSHR        *mshrFile
+	iMSHR        *mshrFile
+	l2Cycles     uint64
+	memCycles    uint64
+
+	c counters
+
+	retiredTotal uint64
+}
+
+// New builds a core for cfg running the given source's trace.
+func New(cfg config.Proc, gen Source) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:          cfg,
+		gen:          gen,
+		fetchQCap:    cfg.FetchWidth * (cfg.FrontLatency + 2),
+		bpred:        NewBPred(cfg.BPredBytes, cfg.RASEntries),
+		win:          make([]entry, cfg.WindowSize),
+		intBusyUntil: make([]uint64, cfg.IntALUs),
+		fpBusyUntil:  make([]uint64, cfg.FPUs),
+		l1d:          NewCache(cfg.L1D),
+		l1i:          NewCache(cfg.L1I),
+		l2:           NewCache(cfg.L2),
+		dMSHR:        newMSHRFile(cfg.L1D.MSHRs),
+		iMSHR:        newMSHRFile(cfg.L1I.MSHRs),
+		l2Cycles:     uint64(math.Ceil(cfg.L2.HitLatencySec * cfg.FreqHz)),
+		memCycles:    uint64(math.Ceil(cfg.MemLatencySec * cfg.FreqHz)),
+	}
+	for i := range c.hist {
+		c.hist[i] = 0 // everything "already finished" before the run
+	}
+	return c, nil
+}
+
+// MustNew is New, panicking on config errors.
+func MustNew(cfg config.Proc, gen Source) *Core {
+	c, err := New(cfg, gen)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() config.Proc { return c.cfg }
+
+// SetOperatingPoint changes the clock and supply voltage between epochs
+// (dynamic voltage and frequency scaling). Microarchitectural and cache
+// state is preserved — only the cycle cost of the fixed-wall-clock
+// off-chip latencies changes. Latencies of requests already in flight
+// keep their old cycle counts, which mirrors a real DVS transition
+// closely enough at epoch granularity.
+func (c *Core) SetOperatingPoint(freqHz, vddV float64) {
+	c.cfg.FreqHz = freqHz
+	c.cfg.VddV = vddV
+	c.l2Cycles = uint64(math.Ceil(c.cfg.L2.HitLatencySec * freqHz))
+	c.memCycles = uint64(math.Ceil(c.cfg.MemLatencySec * freqHz))
+}
+
+// Retired returns the total instructions retired since construction.
+func (c *Core) Retired() uint64 { return c.retiredTotal }
+
+// Run simulates until at least n more instructions retire and returns
+// the stats for that span (whole cycles complete, so the span may
+// overshoot n by up to RetireWidth-1 instructions). Microarchitectural
+// and cache state carries over between calls, so consecutive calls
+// behave like consecutive epochs of one long run.
+func (c *Core) Run(n uint64) Result {
+	if n == 0 {
+		return Result{}
+	}
+	startCycle := c.cycle
+	target := c.retiredTotal + n
+	c.snapshotDiagBases()
+
+	maxCycles := c.cycle + n*200 + 1_000_000 // deadlock guard
+	for c.retiredTotal < target {
+		c.step()
+		if c.cycle > maxCycles {
+			panic(fmt.Sprintf("sim: no forward progress after %d cycles (retired %d of %d)",
+				c.cycle-startCycle, c.retiredTotal, target))
+		}
+	}
+	return c.makeResult(startCycle)
+}
+
+// step advances the core by one cycle.
+func (c *Core) step() {
+	c.retire()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.c.occupancySum += uint64(c.winCount)
+	c.cycle++
+}
+
+// ---- Retire ----
+
+func (c *Core) retire() {
+	for k := 0; k < c.cfg.RetireWidth && c.winCount > 0; k++ {
+		e := &c.win[c.winHead]
+		if !e.issued || e.finish > c.cycle {
+			return
+		}
+		if e.instr.Op.IsMem() {
+			c.memQUsed--
+		}
+		if e.instr.Op.IsFP() {
+			c.c.fpRetired++
+		}
+		c.c.winRetire++
+		c.winHead = (c.winHead + 1) % len(c.win)
+		c.winCount--
+		c.retiredTotal++
+	}
+}
+
+// ---- Issue ----
+
+func (c *Core) issue() {
+	intSlots := c.freeUnits(c.intBusyUntil)
+	fpSlots := c.freeUnits(c.fpBusyUntil)
+	aguSlots := c.cfg.AGUs
+	dPorts := c.cfg.L1D.Ports
+
+	for k := 0; k < c.winCount; k++ {
+		if intSlots == 0 && fpSlots == 0 && (aguSlots == 0 || dPorts == 0) {
+			return
+		}
+		idx := (c.winHead + k) % len(c.win)
+		e := &c.win[idx]
+		if e.issued {
+			continue
+		}
+		if !c.depDone(e.dep1) || !c.depDone(e.dep2) {
+			continue
+		}
+		op := e.instr.Op
+		switch {
+		case op == trace.Load || op == trace.Store:
+			if aguSlots == 0 || dPorts == 0 {
+				continue
+			}
+			lat, ok := c.memLatency(e)
+			if !ok {
+				continue // MSHRs full; retry next cycle
+			}
+			aguSlots--
+			dPorts--
+			c.c.aguOps++
+			c.c.lsqOps++
+			c.c.l1dAccesses++
+			c.c.intRFReads += 2
+			c.complete(e, c.cycle+lat)
+			if op == trace.Load {
+				c.c.intRFWrites++
+			}
+		case op.IsFP():
+			if fpSlots == 0 {
+				continue
+			}
+			fpSlots--
+			c.c.fpOps++
+			c.c.fpRFReads += 2
+			c.c.fpRFWrites++
+			lat := uint64(c.cfg.FPLat)
+			if op == trace.FPDiv {
+				lat = uint64(c.cfg.FPDivLat)
+				c.occupyUnit(c.fpBusyUntil, c.cycle+lat)
+			}
+			c.complete(e, c.cycle+lat)
+		default: // integer ALU ops and branches
+			if intSlots == 0 {
+				continue
+			}
+			intSlots--
+			c.c.intOps++
+			c.c.intRFReads += 2
+			lat := uint64(c.cfg.IntAddLat)
+			switch op {
+			case trace.IntMul:
+				lat = uint64(c.cfg.IntMulLat)
+			case trace.IntDiv:
+				lat = uint64(c.cfg.IntDivLat)
+				c.occupyUnit(c.intBusyUntil, c.cycle+lat)
+			}
+			if !op.IsBranch() {
+				c.c.intRFWrites++
+			}
+			c.complete(e, c.cycle+lat)
+		}
+	}
+}
+
+// depDone reports whether the producer with sequence number d (0 = no
+// dependence) has its result available this cycle.
+func (c *Core) depDone(d uint64) bool {
+	if d == 0 {
+		return true
+	}
+	return c.hist[d%uint64(len(c.hist))] <= c.cycle
+}
+
+func (c *Core) complete(e *entry, finish uint64) {
+	e.issued = true
+	e.finish = finish
+	c.hist[e.seq%uint64(len(c.hist))] = finish
+	c.c.winIssue++
+}
+
+func (c *Core) freeUnits(busy []uint64) int {
+	n := 0
+	for _, b := range busy {
+		if b <= c.cycle {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Core) occupyUnit(busy []uint64, until uint64) {
+	for i, b := range busy {
+		if b <= c.cycle {
+			busy[i] = until
+			return
+		}
+	}
+}
+
+// memLatency returns the completion latency for a memory op, or ok=false
+// if it cannot start this cycle (MSHRs exhausted).
+func (c *Core) memLatency(e *entry) (uint64, bool) {
+	addr := e.instr.Addr
+	hitLat := uint64(c.cfg.L1D.HitLatencyCycles)
+	if e.instr.Op == trace.Store {
+		// Stores drain through a store buffer: they update cache state and
+		// complete quickly without holding an MSHR. This keeps them off
+		// the critical path, as in the paper's base machine.
+		if !c.l1d.Access(addr, true) {
+			c.l2.Access(addr, true)
+		}
+		return hitLat, true
+	}
+	// Store-to-load forwarding: an older in-flight store to the same
+	// 8-byte word satisfies the load at hit latency.
+	if c.forwardFromStore(e) {
+		c.l1d.Access(addr, true) // still occupies the port and warms the line
+		return hitLat, true
+	}
+	if c.l1d.Contains(addr) {
+		c.l1d.Access(addr, true)
+		return hitLat, true
+	}
+	line := c.l1d.Line(addr)
+	if ready, ok := c.dMSHR.lookup(line); ok {
+		// Coalesce with the outstanding miss.
+		c.l1d.Access(addr, true)
+		if ready <= c.cycle {
+			return hitLat, true
+		}
+		return ready - c.cycle + hitLat, true
+	}
+	if c.dMSHR.full(c.cycle) {
+		return 0, false // cannot even start the miss; retry next cycle
+	}
+	c.l1d.Access(addr, true) // records the miss and installs the line
+	var missLat uint64
+	if c.l2.Access(addr, true) {
+		missLat = c.l2Cycles
+	} else {
+		missLat = c.memCycles
+	}
+	c.dMSHR.add(line, c.cycle+missLat)
+	return missLat + hitLat, true
+}
+
+// forwardFromStore scans older window entries for an in-flight store to
+// the same 8-byte word.
+func (c *Core) forwardFromStore(load *entry) bool {
+	word := load.instr.Addr &^ 7
+	// Scan backwards from the load towards the window head.
+	for k := 0; k < c.winCount; k++ {
+		idx := (c.winHead + k) % len(c.win)
+		e := &c.win[idx]
+		if e.seq >= load.seq {
+			break
+		}
+		if e.instr.Op == trace.Store && e.instr.Addr&^7 == word {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Dispatch (rename) ----
+
+func (c *Core) dispatch() {
+	for k := 0; k < c.cfg.FetchWidth; k++ {
+		if len(c.fetchQ) == 0 || c.winCount == len(c.win) {
+			return
+		}
+		f := &c.fetchQ[0]
+		if f.availAt > c.cycle {
+			return
+		}
+		if f.instr.Op.IsMem() && c.memQUsed >= c.cfg.MemQueueSize {
+			return
+		}
+		e := entry{
+			instr:  f.instr,
+			seq:    f.seq,
+			finish: farFuture,
+		}
+		if d := f.instr.Dep1; d > 0 && uint64(d) < e.seq {
+			e.dep1 = e.seq - uint64(d)
+		}
+		if d := f.instr.Dep2; d > 0 && uint64(d) < e.seq {
+			e.dep2 = e.seq - uint64(d)
+		}
+		c.hist[e.seq%uint64(len(c.hist))] = farFuture
+		idx := (c.winHead + c.winCount) % len(c.win)
+		c.win[idx] = e
+		c.winCount++
+		if f.instr.Op.IsMem() {
+			c.memQUsed++
+			c.c.lsqOps++
+		}
+		c.c.winDispatch++
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+// ---- Fetch ----
+
+func (c *Core) fetch() {
+	if c.cycle < c.fetchStallTo {
+		return
+	}
+	if c.fetchBlocked != 0 {
+		fin := c.hist[c.fetchBlocked%uint64(len(c.hist))]
+		if fin > c.cycle {
+			return
+		}
+		// Redirect: fetch resumes next cycle.
+		c.fetchBlocked = 0
+		c.fetchStallTo = c.cycle + 1
+		return
+	}
+	for k := 0; k < c.cfg.FetchWidth; k++ {
+		if len(c.fetchQ) >= c.fetchQCap {
+			return
+		}
+		var in trace.Instr
+		c.gen.Next(&in)
+		c.seq++
+		// Mark the instruction in flight from fetch onwards, so a
+		// mispredicted branch blocks fetch until it actually executes
+		// (not until its stale history slot is consulted).
+		c.hist[c.seq%uint64(len(c.hist))] = farFuture
+		c.c.fetched++
+
+		// I-cache: account one access per new line touched.
+		line := c.l1i.Line(in.PC) + 1
+		if line != c.lastLine {
+			c.lastLine = line
+			c.c.l1iAccesses++
+			if !c.l1i.Access(in.PC, true) {
+				var lat uint64
+				il := c.l1i.Line(in.PC)
+				if ready, ok := c.iMSHR.lookup(il); ok && ready > c.cycle {
+					lat = ready - c.cycle
+				} else if c.l2.Access(in.PC, true) {
+					lat = c.l2Cycles
+				} else {
+					lat = c.memCycles
+				}
+				if !c.iMSHR.full(c.cycle) {
+					c.iMSHR.add(il, c.cycle+lat)
+				}
+				c.fetchStallTo = c.cycle + lat
+				// The missing instruction reaches rename only after the fill.
+				c.pushFetchedAt(in, c.fetchStallTo+uint64(c.cfg.FrontLatency))
+				return
+			}
+		}
+
+		op := in.Op
+		if op.IsBranch() {
+			c.c.bpredAccesses++
+			correct := true
+			switch op {
+			case trace.Branch:
+				correct = c.bpred.PredictBranch(in.PC, in.Taken)
+			case trace.Call:
+				c.bpred.Call(in.PC + 4)
+			case trace.Ret:
+				correct = c.bpred.Ret(in.Target)
+			}
+			c.pushFetched(in)
+			if !correct {
+				c.fetchBlocked = c.seq
+				return
+			}
+			if in.Taken {
+				// Fetch group ends at a predicted-taken branch.
+				return
+			}
+			continue
+		}
+		c.pushFetched(in)
+	}
+}
+
+func (c *Core) pushFetched(in trace.Instr) {
+	c.pushFetchedAt(in, c.cycle+uint64(c.cfg.FrontLatency))
+}
+
+func (c *Core) pushFetchedAt(in trace.Instr, availAt uint64) {
+	c.fetchQ = append(c.fetchQ, fetchedInstr{
+		instr:   in,
+		seq:     c.seq,
+		availAt: availAt,
+	})
+}
+
+// ---- Stats ----
+
+func (c *Core) snapshotDiagBases() {
+	c.c = counters{
+		branchLookups0: c.bpred.Lookups(),
+		branchWrong0:   c.bpred.Mispredicts(),
+		l1dAcc0:        c.l1d.Accesses(), l1dMiss0: c.l1d.Misses(),
+		l1iAcc0: c.l1i.Accesses(), l1iMiss0: c.l1i.Misses(),
+		l2Acc0: c.l2.Accesses(), l2Miss0: c.l2.Misses(),
+	}
+}
+
+func (c *Core) makeResult(startCycle uint64) Result {
+	cycles := c.cycle - startCycle
+	if cycles == 0 {
+		cycles = 1
+	}
+	fc := float64(cycles)
+	cc := &c.c
+	retired := cc.winRetire
+
+	var r Result
+	r.Cycles = cycles
+	r.Retired = retired
+	r.TimeSec = fc / c.cfg.FreqHz
+	r.IPC = float64(retired) / fc
+
+	iw := float64(c.cfg.IssueWidth())
+	act := func(events uint64, perCycle float64) float64 {
+		if perCycle <= 0 {
+			return 0
+		}
+		a := float64(events) / (fc * perCycle)
+		if a > 1 {
+			a = 1
+		}
+		return a
+	}
+	r.Activity[floorplan.Fetch] = act(cc.fetched, float64(c.cfg.FetchWidth))
+	r.Activity[floorplan.BPred] = act(cc.bpredAccesses, 2)
+	r.Activity[floorplan.Window] = act(cc.winDispatch+cc.winIssue+cc.winRetire,
+		float64(c.cfg.FetchWidth+c.cfg.RetireWidth)+iw)
+	r.Activity[floorplan.IntRF] = act(cc.intRFReads+cc.intRFWrites,
+		3*float64(c.cfg.IntALUs+c.cfg.AGUs))
+	r.Activity[floorplan.FPRF] = act(cc.fpRFReads+cc.fpRFWrites, 3*float64(c.cfg.FPUs))
+	r.Activity[floorplan.IntALU] = act(cc.intOps, float64(c.cfg.IntALUs))
+	r.Activity[floorplan.AGU] = act(cc.aguOps, float64(c.cfg.AGUs))
+	r.Activity[floorplan.FPU] = act(cc.fpOps, float64(c.cfg.FPUs))
+	r.Activity[floorplan.LSQ] = act(cc.lsqOps, 4)
+	r.Activity[floorplan.L1I] = act(cc.l1iAccesses, 2)
+	r.Activity[floorplan.L1D] = act(cc.l1dAccesses, float64(c.cfg.L1D.Ports))
+
+	lookups := c.bpred.Lookups() - cc.branchLookups0
+	if lookups > 0 {
+		r.BranchAccuracy = 1 - float64(c.bpred.Mispredicts()-cc.branchWrong0)/float64(lookups)
+	} else {
+		r.BranchAccuracy = 1
+	}
+	r.L1DMissRate = missRate(c.l1d.Accesses()-cc.l1dAcc0, c.l1d.Misses()-cc.l1dMiss0)
+	r.L1IMissRate = missRate(c.l1i.Accesses()-cc.l1iAcc0, c.l1i.Misses()-cc.l1iMiss0)
+	r.L2MissRate = missRate(c.l2.Accesses()-cc.l2Acc0, c.l2.Misses()-cc.l2Miss0)
+	r.WindowOccupancy = float64(cc.occupancySum) / fc
+	if retired > 0 {
+		r.FPShare = float64(cc.fpRetired) / float64(retired)
+	}
+	return r
+}
+
+func missRate(acc, miss uint64) float64 {
+	if acc == 0 {
+		return 0
+	}
+	return float64(miss) / float64(acc)
+}

@@ -1,0 +1,363 @@
+// Package thermal is a compact RC thermal model in the spirit of HotSpot
+// (the paper's thermal simulator).
+//
+// The network has one node per floorplan block (the silicon die), one
+// node for the heat spreader, and one node for the heat sink:
+//
+//	block i --Rv(i)--> spreader --Rsp--> sink --Rconv--> ambient
+//	block i --Rlat(i,j)--> block j        (shared-edge neighbours)
+//
+// Vertical resistances follow conduction through the die and thermal
+// interface (t/(k·A)); lateral resistances follow conduction along the
+// die between block centres through the shared edge cross-section. Every
+// node has a heat capacity, so the model supports both steady-state
+// solves (dense Gaussian elimination — the network is tiny) and transient
+// integration (implicit Euler, unconditionally stable).
+//
+// The paper's two-pass heat-sink initialisation (Section 6.3) is exposed
+// directly: the sink's RC time constant (~minutes) is far larger than a
+// simulated run, so a first pass measures average power, SinkSteadyTemp
+// converts it to the sink's steady temperature, and the second pass runs
+// with the sink pinned there. QuasiSteady then gives per-block
+// temperatures for an interval, which is valid because block time
+// constants (~ms) are far below the interval lengths RAMP samples.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"ramp/internal/floorplan"
+	"ramp/internal/power"
+)
+
+// Params holds the physical constants of the package stack.
+type Params struct {
+	DieThicknessM  float64 // silicon die thickness
+	KSiliconWmK    float64 // silicon thermal conductivity
+	CSiliconJm3K   float64 // silicon volumetric heat capacity
+	RVertExtraKWm2 float64 // extra vertical resistance (TIM), K·m²/W
+
+	SpreaderRKW float64 // spreader -> sink resistance
+	SpreaderCJK float64 // spreader heat capacity
+	SinkRKW     float64 // sink -> ambient (convection) resistance
+	SinkCJK     float64 // sink heat capacity
+
+	AmbientK float64
+}
+
+// DefaultParams returns HotSpot-like constants for the paper's package:
+// a 0.5 mm die, copper spreader, and a sink sized so the hottest
+// application peaks near 400 K, as in Section 7.1.
+func DefaultParams(ambientK float64) Params {
+	return Params{
+		DieThicknessM:  0.5e-3,
+		KSiliconWmK:    100,
+		CSiliconJm3K:   1.75e6,
+		RVertExtraKWm2: 8.0e-6,
+		SpreaderRKW:    0.12,
+		SpreaderCJK:    12,
+		SinkRKW:        0.60,
+		SinkCJK:        140,
+		AmbientK:       ambientK,
+	}
+}
+
+// Model is the assembled RC network.
+type Model struct {
+	fp     *floorplan.Floorplan
+	p      Params
+	n      int // total nodes: blocks + spreader + sink
+	gVert  [floorplan.NumStructures]float64
+	g      [][]float64 // conductance between node pairs (symmetric)
+	c      []float64   // per-node heat capacity
+	gSinkA float64     // sink -> ambient conductance
+}
+
+// New assembles the thermal network for a floorplan.
+func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
+	if p.DieThicknessM <= 0 || p.KSiliconWmK <= 0 || p.SinkRKW <= 0 || p.SpreaderRKW <= 0 {
+		return nil, fmt.Errorf("thermal: non-positive physical parameter: %+v", p)
+	}
+	nb := int(floorplan.NumStructures)
+	n := nb + 2
+	m := &Model{
+		fp:     fp,
+		p:      p,
+		n:      n,
+		g:      make([][]float64, n),
+		c:      make([]float64, n),
+		gSinkA: 1 / p.SinkRKW,
+	}
+	for i := range m.g {
+		m.g[i] = make([]float64, n)
+	}
+	spreader := nb
+	sink := nb + 1
+
+	for s := 0; s < nb; s++ {
+		areaM2 := fp.AreaMM2(floorplan.Structure(s)) * 1e-6
+		// Vertical: die conduction plus TIM, block -> spreader.
+		r := p.DieThicknessM/(p.KSiliconWmK*areaM2) + p.RVertExtraKWm2/areaM2
+		g := 1 / r
+		m.gVert[s] = g
+		m.g[s][spreader] += g
+		m.g[spreader][s] += g
+		// Block heat capacity.
+		m.c[s] = p.CSiliconJm3K * areaM2 * p.DieThicknessM
+	}
+	// Lateral conduction between adjacent blocks.
+	for _, adj := range fp.Adjacencies() {
+		sharedM := adj.SharedMM * 1e-3
+		distM := adj.CenterDist * 1e-3
+		if distM <= 0 {
+			continue
+		}
+		g := p.KSiliconWmK * p.DieThicknessM * sharedM / distM
+		a, b := int(adj.A), int(adj.B)
+		m.g[a][b] += g
+		m.g[b][a] += g
+	}
+	// Spreader -> sink.
+	gss := 1 / p.SpreaderRKW
+	m.g[spreader][sink] += gss
+	m.g[sink][spreader] += gss
+	m.c[spreader] = p.SpreaderCJK
+	m.c[sink] = p.SinkCJK
+	return m, nil
+}
+
+// MustNew is New, panicking on bad parameters.
+func MustNew(fp *floorplan.Floorplan, p Params) *Model {
+	m, err := New(fp, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Nodes returns the total node count (blocks + spreader + sink).
+func (m *Model) Nodes() int { return m.n }
+
+// Ambient returns the model's ambient temperature (K).
+func (m *Model) Ambient() float64 { return m.p.AmbientK }
+
+// sinkIndex returns the sink node index.
+func (m *Model) sinkIndex() int { return m.n - 1 }
+
+// spreaderIndex returns the spreader node index.
+func (m *Model) spreaderIndex() int { return m.n - 2 }
+
+// SteadyState solves the full network for constant per-block power and
+// returns all node temperatures (blocks, then spreader, then sink).
+func (m *Model) SteadyState(blockPower power.Vector) []float64 {
+	a := newDense(m.n)
+	b := make([]float64, m.n)
+	m.fillConductance(a)
+	// Sink couples to ambient.
+	sink := m.sinkIndex()
+	a.add(sink, sink, m.gSinkA)
+	b[sink] += m.gSinkA * m.p.AmbientK
+	for s := 0; s < int(floorplan.NumStructures); s++ {
+		b[s] += blockPower[s]
+	}
+	return a.solve(b)
+}
+
+// SinkSteadyTemp returns the sink temperature reached under a constant
+// total power (the first pass of the paper's two-pass initialisation).
+func (m *Model) SinkSteadyTemp(totalPowerW float64) float64 {
+	return m.p.AmbientK + totalPowerW*m.p.SinkRKW
+}
+
+// QuasiSteady solves block and spreader temperatures with the sink pinned
+// at sinkTempK. This is the second-pass operating mode: block and
+// spreader time constants are milliseconds, far below RAMP's sampling
+// interval, so each interval sees its steady temperatures; the sink
+// integrates over the whole run.
+func (m *Model) QuasiSteady(blockPower power.Vector, sinkTempK float64) power.Vector {
+	n := m.n - 1 // exclude the pinned sink
+	a := newDense(n)
+	b := make([]float64, n)
+	sink := m.sinkIndex()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			g := m.g[i][j]
+			if g != 0 {
+				a.add(i, i, g)
+				a.add(i, j, -g)
+			}
+		}
+		if g := m.g[i][sink]; g != 0 {
+			a.add(i, i, g)
+			b[i] += g * sinkTempK
+		}
+	}
+	for s := 0; s < int(floorplan.NumStructures); s++ {
+		b[s] += blockPower[s]
+	}
+	t := a.solve(b)
+	var out power.Vector
+	copy(out[:], t[:floorplan.NumStructures])
+	return out
+}
+
+// fillConductance writes the Laplacian of the conductance graph into a.
+func (m *Model) fillConductance(a *dense) {
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i == j {
+				continue
+			}
+			g := m.g[i][j]
+			if g != 0 {
+				a.add(i, i, g)
+				a.add(i, j, -g)
+			}
+		}
+	}
+}
+
+// State integrates the network through time (implicit Euler).
+type State struct {
+	m     *Model
+	temps []float64
+}
+
+// NewState returns a transient state with every node at temp0.
+func (m *Model) NewState(temp0 float64) *State {
+	t := make([]float64, m.n)
+	for i := range t {
+		t[i] = temp0
+	}
+	return &State{m: m, temps: t}
+}
+
+// NewStateFrom returns a transient state with explicit node temperatures
+// (blocks, spreader, sink — as returned by SteadyState).
+func (m *Model) NewStateFrom(temps []float64) (*State, error) {
+	if len(temps) != m.n {
+		return nil, fmt.Errorf("thermal: NewStateFrom needs %d temperatures, got %d", m.n, len(temps))
+	}
+	return &State{m: m, temps: append([]float64(nil), temps...)}, nil
+}
+
+// Step advances the network by dt seconds under the given block powers
+// using implicit Euler: (C/dt + G) T' = C/dt·T + P. Unconditionally
+// stable for any dt.
+func (st *State) Step(blockPower power.Vector, dt float64) {
+	if dt <= 0 {
+		panic("thermal: non-positive dt")
+	}
+	m := st.m
+	a := newDense(m.n)
+	b := make([]float64, m.n)
+	m.fillConductance(a)
+	sink := m.sinkIndex()
+	a.add(sink, sink, m.gSinkA)
+	b[sink] += m.gSinkA * m.p.AmbientK
+	for i := 0; i < m.n; i++ {
+		cd := m.c[i] / dt
+		a.add(i, i, cd)
+		b[i] += cd * st.temps[i]
+	}
+	for s := 0; s < int(floorplan.NumStructures); s++ {
+		b[s] += blockPower[s]
+	}
+	st.temps = a.solve(b)
+}
+
+// BlockTemps returns the current per-block temperatures.
+func (st *State) BlockTemps() power.Vector {
+	var out power.Vector
+	copy(out[:], st.temps[:floorplan.NumStructures])
+	return out
+}
+
+// SinkTemp returns the current heat-sink temperature.
+func (st *State) SinkTemp() float64 { return st.temps[st.m.sinkIndex()] }
+
+// SpreaderTemp returns the current spreader temperature.
+func (st *State) SpreaderTemp() float64 { return st.temps[st.m.spreaderIndex()] }
+
+// Temps returns all node temperatures (blocks, spreader, sink).
+func (st *State) Temps() []float64 { return append([]float64(nil), st.temps...) }
+
+// MaxBlock returns the hottest block and its temperature.
+func MaxBlock(t power.Vector) (floorplan.Structure, float64) {
+	best := floorplan.Structure(0)
+	max := math.Inf(-1)
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		if t[s] > max {
+			max = t[s]
+			best = s
+		}
+	}
+	return best, max
+}
+
+// dense is a small dense linear system solver (Gaussian elimination with
+// partial pivoting). The thermal network has ~13 nodes, so dense is both
+// simplest and fastest.
+type dense struct {
+	n int
+	a []float64 // row-major n x n
+}
+
+func newDense(n int) *dense {
+	return &dense{n: n, a: make([]float64, n*n)}
+}
+
+func (d *dense) add(i, j int, v float64) {
+	d.a[i*d.n+j] += v
+}
+
+// solve solves d·x = b, destroying d and b.
+func (d *dense) solve(b []float64) []float64 {
+	n := d.n
+	a := d.a
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		pmax := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > pmax {
+				pmax = v
+				p = r
+			}
+		}
+		if pmax == 0 {
+			panic("thermal: singular conductance matrix")
+		}
+		if p != col {
+			for k := 0; k < n; k++ {
+				a[col*n+k], a[p*n+k] = a[p*n+k], a[col*n+k]
+			}
+			b[col], b[p] = b[p], b[col]
+		}
+		pivInv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * pivInv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for k := col + 1; k < n; k++ {
+				a[r*n+k] -= f * a[col*n+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < n; k++ {
+			s -= a[r*n+k] * x[k]
+		}
+		x[r] = s / a[r*n+r]
+	}
+	return x
+}

@@ -1,0 +1,122 @@
+package ramp_test
+
+import (
+	"testing"
+
+	"ramp"
+)
+
+// The facade test exercises the library exactly as a downstream user
+// would: only through package ramp.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	env := ramp.NewEnv(ramp.QuickOptions())
+	app, err := ramp.AppByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Evaluate(app, env.Base, env.Qualification(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.AvgW <= 0 || res.FIT() <= 0 {
+		t.Fatalf("implausible result %+v", res)
+	}
+	if res.Assessment.MTTFYears <= 0 {
+		t.Fatal("missing MTTF")
+	}
+}
+
+func TestFacadeConfigSurface(t *testing.T) {
+	base := ramp.BaseProcessor()
+	if base.FreqHz != 4e9 || base.WindowSize != 128 {
+		t.Fatalf("base processor %+v", base)
+	}
+	if got := len(ramp.ArchConfigs()); got != 18 {
+		t.Fatalf("arch configs %d", got)
+	}
+	if v := ramp.VoltageForFreq(4e9); v != 1.0 {
+		t.Fatalf("V(4GHz) = %v", v)
+	}
+	if got := len(ramp.DVSFrequencies(0.5e9)); got != 6 {
+		t.Fatalf("DVS grid %d", got)
+	}
+	if len(ramp.Apps()) != 9 {
+		t.Fatal("suite size")
+	}
+	if ramp.StandardTargetFIT != 4000 {
+		t.Fatal("target FIT")
+	}
+}
+
+func TestFacadeLowLevelPipeline(t *testing.T) {
+	// Drive the substrates directly: trace -> core -> RAMP engine.
+	app, err := ramp.AppByName("twolf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := ramp.NewGenerator(app, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := ramp.NewCore(ramp.BaseProcessor(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Run(20_000)
+	if r.IPC <= 0 {
+		t.Fatal("no progress")
+	}
+
+	fp := ramp.R10000Floorplan()
+	engine, err := ramp.NewEngine(fp, ramp.DefaultReliabilityParams(ramp.TCAmbientK),
+		ramp.Qualification{TqualK: 400, VqualV: 1, FqualHz: 4e9, Aqual: 0.5, TargetFIT: ramp.StandardTargetFIT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ramp.Interval{DurationSec: r.TimeSec}
+	for s := range iv.Structures {
+		iv.Structures[s] = ramp.Conditions{
+			TempK: 360, VddV: 1, FreqHz: 4e9,
+			Activity: r.Activity[s], OnFraction: 1,
+		}
+	}
+	if err := engine.Observe(iv); err != nil {
+		t.Fatal(err)
+	}
+	a, err := engine.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalFIT <= 0 {
+		t.Fatal("zero FIT")
+	}
+}
+
+func TestFacadeDRMAndDTM(t *testing.T) {
+	env := ramp.NewEnv(ramp.QuickOptions())
+	oracle := ramp.NewDRMOracle(env)
+	oracle.FreqStepHz = 1.25e9 // 3-point grid; this is a smoke test
+	app, err := ramp.AppByName("art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := oracle.Sweep(app, ramp.DVS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := sweep.Select(env, env.Qualification(370))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Proc.FreqHz == 0 {
+		t.Fatal("no DRM choice")
+	}
+	dtmChoice, err := ramp.DTMSweepFrom(sweep).Select(360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtmChoice.Proc.FreqHz == 0 {
+		t.Fatal("no DTM choice")
+	}
+}
