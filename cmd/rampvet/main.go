@@ -1,0 +1,77 @@
+// Command rampvet is RAMP's domain-specific static-analysis suite: it
+// type-checks the module's packages with the standard library's go/ast,
+// go/parser and go/types and applies the reliability-math analyzers in
+// internal/lint:
+//
+//	floatcmp    ==/!= between floating-point expressions
+//	unitsafety  sub-200 literals flowing into Kelvin-named slots
+//	expguard    unguarded temperature denominators in math.Exp
+//	seeddet     non-deterministic RNG construction outside tests
+//	errdrop     statement-position calls silently dropping errors
+//
+// Usage:
+//
+//	rampvet [-analyzers list] [-list] [packages]
+//
+// Packages default to ./... relative to the working directory, which
+// must be inside the module. rampvet exits 0 if no diagnostics were
+// reported, 1 if any were, and 2 on usage or load errors — the same
+// contract as go vet, so it slots into scripts/ci.sh unchanged.
+//
+// rampvet is the static half of RAMP's correctness tooling; the runtime
+// half is internal/check, enabled with `go test -tags rampdebug ./...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ramp/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list available analyzers and exit")
+	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rampvet [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *analyzersFlag != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*analyzersFlag, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(cwd, flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rampvet: %d issue(s) found\n", len(diags))
+		os.Exit(1)
+	}
+}

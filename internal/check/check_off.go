@@ -1,0 +1,23 @@
+//go:build !rampdebug
+
+package check
+
+const enabled = false
+
+// Assert does nothing in the default build.
+func Assert(cond bool, site, msg string) {}
+
+// Finite does nothing in the default build.
+func Finite(site string, v float64) {}
+
+// NonNegative does nothing in the default build.
+func NonNegative(site string, v float64) {}
+
+// Probability does nothing in the default build.
+func Probability(site string, v float64) {}
+
+// TempK does nothing in the default build.
+func TempK(site string, v float64) {}
+
+// InRange does nothing in the default build.
+func InRange(site string, v, lo, hi float64) {}

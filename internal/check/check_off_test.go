@@ -1,0 +1,46 @@
+//go:build !rampdebug
+
+package check_test
+
+import (
+	"math"
+	"testing"
+
+	"ramp/internal/check"
+)
+
+// violate exercises every check with violating values; in the default
+// build all of them must be silent no-ops.
+func violate() {
+	check.Assert(false, "test.site", "should not fire")
+	check.Finite("test.site", math.NaN())
+	check.Finite("test.site", math.Inf(1))
+	check.NonNegative("test.site", -1)
+	check.Probability("test.site", 1.5)
+	check.TempK("test.site", 25) // the classic Celsius bug
+	check.InRange("test.site", 99, 0, 1)
+}
+
+func TestDisabledByDefault(t *testing.T) {
+	if check.Enabled {
+		t.Fatal("check.Enabled true without the rampdebug build tag")
+	}
+	violate() // must not panic
+}
+
+// TestNoOpAllocs proves the disabled checks cost nothing on hot paths:
+// the empty bodies inline and the argument lists allocate nothing.
+func TestNoOpAllocs(t *testing.T) {
+	if n := testing.AllocsPerRun(1000, violate); n != 0 {
+		t.Fatalf("disabled checks allocated %v times per run, want 0", n)
+	}
+}
+
+func BenchmarkDisabledChecks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		check.NonNegative("bench.site", float64(i))
+		check.TempK("bench.site", 350)
+		check.Probability("bench.site", 0.5)
+	}
+}

@@ -1,0 +1,57 @@
+//go:build rampdebug
+
+package check
+
+import (
+	"fmt"
+	"math"
+)
+
+const enabled = true
+
+// Assert panics with site and msg if cond is false.
+func Assert(cond bool, site, msg string) {
+	if !cond {
+		panic(fmt.Sprintf("check: %s: assertion failed: %s", site, msg))
+	}
+}
+
+// Finite panics if v is NaN or ±Inf.
+func Finite(site string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Sprintf("check: %s: non-finite value %v", site, v))
+	}
+}
+
+// NonNegative panics if v is negative, NaN or +Inf. Failure rates, FIT
+// values, power draws and sampled lifetimes must all satisfy this.
+func NonNegative(site string, v float64) {
+	if !(v >= 0) || math.IsInf(v, 1) {
+		panic(fmt.Sprintf("check: %s: expected finite non-negative value, got %v", site, v))
+	}
+}
+
+// Probability panics unless v is in [0, 1]. Survival functions,
+// activity factors and on-fractions must all satisfy this.
+func Probability(site string, v float64) {
+	if !(v >= 0 && v <= 1) {
+		panic(fmt.Sprintf("check: %s: probability %v out of [0,1]", site, v))
+	}
+}
+
+// TempK panics unless v is a plausible absolute temperature in
+// [MinPlausibleK, MaxPlausibleK] — the guard against Celsius values (or
+// diverged thermal solves) reaching an Arrhenius exponential.
+func TempK(site string, v float64) {
+	if !(v >= MinPlausibleK && v <= MaxPlausibleK) {
+		panic(fmt.Sprintf("check: %s: implausible temperature %v K (want [%v, %v])", site, v, float64(MinPlausibleK), float64(MaxPlausibleK)))
+	}
+}
+
+// InRange panics unless lo <= v <= hi. Used for operating-point bounds
+// (DVS voltage and frequency windows).
+func InRange(site string, v, lo, hi float64) {
+	if !(v >= lo && v <= hi) {
+		panic(fmt.Sprintf("check: %s: value %v out of [%v, %v]", site, v, lo, hi))
+	}
+}

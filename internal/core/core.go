@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 
+	"ramp/internal/check"
 	"ramp/internal/floorplan"
 )
 
@@ -159,6 +160,9 @@ type Conditions struct {
 // rate (1/MTTF) at the given conditions. Powered-down area carries no
 // current, so the rate scales with OnFraction (Section 6.1).
 func (p Params) EMRate(c Conditions) float64 {
+	if c.TempK <= 0 {
+		return 0 // caught by expguard: T=0 would silently yield e^(-Inf)
+	}
 	j := c.VddV * c.FreqHz * c.Activity // ∝ current density
 	if j <= 0 {
 		return 0
@@ -171,6 +175,9 @@ func (p Params) EMRate(c Conditions) float64 {
 // rate. Stress depends only on the temperature differential against the
 // deposition temperature, so gating does not reduce it.
 func (p Params) SMRate(c Conditions) float64 {
+	if c.TempK <= 0 {
+		return 0 // caught by expguard: a negative T flips the exponent sign
+	}
 	dt := math.Abs(p.SMT0K - c.TempK)
 	return math.Pow(dt, p.SMExponent) *
 		math.Exp(-p.SMEaEV/(BoltzmannEV*c.TempK))
@@ -182,6 +189,9 @@ func (p Params) SMRate(c Conditions) float64 {
 // response (Section 7.2). Powered-down (supply-gated) area sees no field,
 // so the rate scales with OnFraction.
 func (p Params) TDDBRate(c Conditions) float64 {
+	if c.TempK <= 0 {
+		return 0 // same guard as EM/SM: keep 1/T out of the exponential
+	}
 	t := c.TempK
 	exponent := p.TDDBA - p.TDDBB*t
 	return math.Pow(c.VddV, exponent) *
@@ -203,18 +213,23 @@ func (p Params) TCRate(avgTempK float64) float64 {
 // temperature is the run-average temperature, which callers put in
 // c.TempK.
 func (p Params) Rate(m Mechanism, c Conditions) float64 {
+	var r float64
 	switch m {
 	case EM:
-		return p.EMRate(c)
+		r = p.EMRate(c)
 	case SM:
-		return p.SMRate(c)
+		r = p.SMRate(c)
 	case TDDB:
-		return p.TDDBRate(c)
+		r = p.TDDBRate(c)
 	case TC:
-		return p.TCRate(c.TempK)
+		r = p.TCRate(c.TempK)
 	default:
 		panic(fmt.Sprintf("core: unknown mechanism %v", m))
 	}
+	// A failure rate is a frequency: finite and non-negative, whatever
+	// the operating point.
+	check.NonNegative("core.Params.Rate", r)
+	return r
 }
 
 // Qualification describes a reliability qualification point: the
@@ -301,5 +316,7 @@ func NewBudget(fp *floorplan.Floorplan, p Params, q Qualification) (*Budget, err
 // under mechanism m at conditions c: the budgeted FIT scaled by the
 // failure-rate ratio against qualification conditions.
 func (b *Budget) InstantFIT(p Params, s floorplan.Structure, m Mechanism, c Conditions) float64 {
-	return b.Alloc[s][m] * p.Rate(m, c) / b.QualRate[s][m]
+	fit := b.Alloc[s][m] * p.Rate(m, c) / b.QualRate[s][m]
+	check.NonNegative("core.Budget.InstantFIT", fit)
+	return fit
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ramp/internal/check"
 	"ramp/internal/floorplan"
 )
 
@@ -71,6 +72,11 @@ func (e *Engine) Observe(iv Interval) error {
 		if c.TempK <= 0 {
 			return fmt.Errorf("core: non-positive temperature for %v", s)
 		}
+		// The error above rejects the impossible; the debug checks also
+		// reject the implausible (Celsius leaks, [0,1] violations).
+		check.TempK("core.Engine.Observe", c.TempK)
+		check.Probability("core.Engine.Observe.Activity", c.Activity)
+		check.Probability("core.Engine.Observe.OnFraction", c.OnFraction)
 		e.fitSum[s][EM] += w * e.budget.InstantFIT(e.params, s, EM, c)
 		e.fitSum[s][SM] += w * e.budget.InstantFIT(e.params, s, SM, c)
 		e.fitSum[s][TDDB] += w * e.budget.InstantFIT(e.params, s, TDDB, c)
@@ -156,10 +162,12 @@ func (e *Engine) Assess() (Assessment, error) {
 	if a.TotalFIT > 0 {
 		a.MTTFHours = 1e9 / a.TotalFIT
 		a.MTTFYears = a.MTTFHours / 8760
+		check.Finite("core.Engine.Assess.MTTFHours", a.MTTFHours)
 	} else {
 		a.MTTFHours = math.Inf(1)
 		a.MTTFYears = math.Inf(1)
 	}
+	check.NonNegative("core.Engine.Assess.TotalFIT", a.TotalFIT)
 	return a, nil
 }
 

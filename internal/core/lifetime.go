@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 
+	"ramp/internal/check"
 	"ramp/internal/floorplan"
 )
 
@@ -104,7 +105,9 @@ func (lm *LifetimeModel) Reliability(tHours float64) float64 {
 	for _, c := range lm.comps {
 		cum += math.Pow(tHours/c.scale, c.shape)
 	}
-	return math.Exp(-cum)
+	r := math.Exp(-cum)
+	check.Probability("core.LifetimeModel.Reliability", r)
+	return r
 }
 
 // Hazard returns the instantaneous failure rate (per hour) at t hours —
@@ -134,11 +137,18 @@ func (lm *LifetimeModel) MTTFHours() float64 {
 	const steps = 20000
 	dt := horizon / steps
 	sum := 0.5 // R(0) = 1, half weight
+	prev := 1.0
 	for i := 1; i < steps; i++ {
-		sum += lm.Reliability(float64(i) * dt)
+		r := lm.Reliability(float64(i) * dt)
+		// A survival function cannot recover: R(t) is non-increasing.
+		check.Assert(r <= prev, "core.LifetimeModel.MTTFHours", "reliability increased over time")
+		prev = r
+		sum += r
 	}
 	sum += 0.5 * lm.Reliability(horizon)
-	return sum * dt
+	mttf := sum * dt
+	check.NonNegative("core.LifetimeModel.MTTFHours", mttf)
+	return mttf
 }
 
 // MTTFYears is MTTFHours in years.
@@ -184,6 +194,7 @@ func (lm *LifetimeModel) Sample(rng *rand.Rand) float64 {
 			min = t
 		}
 	}
+	check.NonNegative("core.LifetimeModel.Sample", min)
 	return min
 }
 

@@ -21,6 +21,7 @@ package drm
 import (
 	"fmt"
 
+	"ramp/internal/check"
 	"ramp/internal/config"
 	"ramp/internal/core"
 	"ramp/internal/exp"
@@ -136,6 +137,10 @@ func (c *Controller) Run(app trace.Profile, epochs int) (ControlTrace, error) {
 
 	for i := 0; i < epochs; i++ {
 		proc = proc.WithOperatingPoint(freq)
+		// The controller must never command an operating point outside
+		// the paper's DVS window (Section 6.1).
+		check.InRange("drm.Controller.Run.freq", proc.FreqHz, config.MinFreqHz, config.MaxFreqHz)
+		check.InRange("drm.Controller.Run.vdd", proc.VddV, config.VMin, config.VMax)
 		cpu.SetOperatingPoint(proc.FreqHz, proc.VddV)
 		r := cpu.Run(env.Opts.EpochInstrs)
 

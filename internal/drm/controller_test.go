@@ -56,6 +56,9 @@ func TestControllerHoldsTargetOnCheapDesign(t *testing.T) {
 }
 
 func TestControllerHarvestsSlackOnExpensiveDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	// Tqual=400K: plenty of margin; the controller should settle above
 	// the base clock while keeping the cumulative FIT under target.
 	c := quickController(400, Banked)
@@ -73,6 +76,9 @@ func TestControllerHarvestsSlackOnExpensiveDesign(t *testing.T) {
 }
 
 func TestControllerTracksOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	// The reactive controller (no oracle knowledge) should settle near
 	// the oracle's once-per-application DVS choice.
 	env := exp.NewEnv(exp.QuickOptions())
@@ -108,6 +114,9 @@ func TestControllerTracksOracle(t *testing.T) {
 }
 
 func TestBankedBeatsInstantaneousOnPhasedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	// MPGdec alternates hot and cool phases. Instantaneous control must
 	// throttle for the hottest interval; banked control spends budget
 	// banked in the cool phases, retaining more performance at the same
@@ -135,6 +144,9 @@ func TestBankedBeatsInstantaneousOnPhasedWorkload(t *testing.T) {
 }
 
 func TestControllerDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	run := func() ControlTrace {
 		c := quickController(370, Banked)
 		tr, err := c.Run(trace.Art(), 12)

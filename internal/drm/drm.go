@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ramp/internal/check"
 	"ramp/internal/config"
 	"ramp/internal/core"
 	"ramp/internal/exp"
@@ -140,6 +141,8 @@ func (s *Sweep) Select(env *exp.Env, qual core.Qualification) (Choice, error) {
 			return Choice{}, err
 		}
 		rel := r.BIPS / s.Base.BIPS
+		check.NonNegative("drm.Sweep.Select.FIT", a.TotalFIT)
+		check.NonNegative("drm.Sweep.Select.RelPerf", rel)
 		c := Choice{Proc: r.Proc, Result: r, FIT: a.TotalFIT, RelPerf: rel}
 		if a.TotalFIT <= qual.TargetFIT {
 			c.Feasible = true

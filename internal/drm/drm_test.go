@@ -50,6 +50,9 @@ func TestCandidateSpaces(t *testing.T) {
 }
 
 func TestDVSSweepSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	sweep, err := o.Sweep(trace.Twolf(), DVS)
 	if err != nil {
@@ -85,6 +88,9 @@ func TestDVSSweepSelection(t *testing.T) {
 }
 
 func TestSelectMonotoneInTqual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	sweep, err := o.Sweep(trace.Gzip(), DVS)
 	if err != nil {
@@ -104,6 +110,9 @@ func TestSelectMonotoneInTqual(t *testing.T) {
 }
 
 func TestArchCappedAtBasePerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	// The base machine is already the most aggressive configuration, so
 	// Arch can never exceed 1.0 relative performance (Section 6.1).
 	o := quickOracle()
@@ -121,6 +130,9 @@ func TestArchCappedAtBasePerformance(t *testing.T) {
 }
 
 func TestDVSBeatsArchWhenThrottling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	// Section 7.2: voltage scaling is the more effective DRM response.
 	o := quickOracle()
 	qual := o.Env.Qualification(345)
@@ -181,6 +193,9 @@ func TestSelectEmptySweepErrors(t *testing.T) {
 }
 
 func TestFrequencyChoice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	sweep, err := o.Sweep(trace.Art(), DVS)
 	if err != nil {
@@ -196,6 +211,9 @@ func TestFrequencyChoice(t *testing.T) {
 }
 
 func TestSortedByPerf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	sweep, err := o.Sweep(trace.Twolf(), DVS)
 	if err != nil {

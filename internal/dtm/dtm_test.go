@@ -33,6 +33,9 @@ func TestSelectRespectsTmax(t *testing.T) {
 }
 
 func TestHigherTmaxAllowsHigherFrequency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	sweep, err := o.Sweep(trace.Equake())
 	if err != nil {
@@ -70,6 +73,9 @@ func TestImpossibleTmaxFallsBackToCoolest(t *testing.T) {
 }
 
 func TestGenerousTmaxUnlocksPeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	sweep, err := o.Sweep(trace.Twolf())
 	if err != nil {
@@ -95,6 +101,9 @@ func TestSelectEmptySweepErrors(t *testing.T) {
 }
 
 func TestBestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	o := quickOracle()
 	c, err := o.Best(trace.Art(), 350)
 	if err != nil {

@@ -335,10 +335,3 @@ func (e *Env) EvaluateAll(jobs []EvalJob) ([]Result, error) {
 	}
 	return results, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

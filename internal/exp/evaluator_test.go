@@ -204,6 +204,9 @@ func TestEpochTemperaturesPerStructure(t *testing.T) {
 }
 
 func TestSuiteMaxActivityConstant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep; skipped in -short (race lane)")
+	}
 	// A_qual must upper-bound the per-structure activities the suite
 	// actually reaches on the base machine (Section 3.7 sets it to the
 	// observed maximum; the constant must not fall below reality).

@@ -83,6 +83,9 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure2SingleApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	env := quickEnv()
 	rows, err := Figure2(env, []trace.Profile{trace.Twolf()}, 0.5e9)
 	if err != nil {
@@ -113,6 +116,9 @@ func TestFigure2SingleApp(t *testing.T) {
 }
 
 func TestFigure3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	env := quickEnv()
 	rows, err := Figure3(env, trace.Twolf(), 0.5e9)
 	if err != nil {

@@ -8,6 +8,9 @@ import (
 )
 
 func TestScalingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptation sweep; skipped in -short (race lane)")
+	}
 	rows, err := ScalingStudy(exp.QuickOptions())
 	if err != nil {
 		t.Fatal(err)

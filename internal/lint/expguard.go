@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ExpGuard flags Arrhenius-style exponentials whose temperature
+// denominator is not provably guarded against zero or negative values.
+//
+// The device models all contain the shape e^(±Ea/kT) (core.Params.EMRate
+// and friends). For T = 0 the quotient is ±Inf — one sign silently
+// produces rate 0, the other +Inf — and for T < 0 the sign of the whole
+// exponent flips, turning a vanishing failure rate into an exploding
+// one. Both are silent: no panic, no NaN, just a FIT value that is
+// wrong by hundreds of orders of magnitude.
+//
+// The analyzer inspects every math.Exp call whose argument contains a
+// division with a temperature-named factor (per the same naming
+// conventions unitsafety uses) in the denominator, and requires the
+// enclosing function to guard that factor: either an early-exit check
+// (`if T <= 0 { return ... }` — any comparison proving the value small
+// with a terminating body) or a positive-context condition (`if T > 0`)
+// somewhere in the function. Guards are matched by expression text, so
+// `c.TempK <= 0` guards a later `.../ (BoltzmannEV * c.TempK)`.
+var ExpGuard = &Analyzer{
+	Name: "expguard",
+	Doc:  "flags math.Exp(... x/T ...) where temperature T is not guarded against zero/negative",
+	Run:  runExpGuard,
+}
+
+func runExpGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guarded := collectGuards(fd.Body)
+			checkExpCalls(pass, fd.Body, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuards gathers the expressions the function proves positive:
+// lower-bound checks with terminating bodies and positive if-conditions.
+func collectGuards(body *ast.BlockStmt) map[string]bool {
+	guarded := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		// Normalise to expr OP literal.
+		x, op, y := cond.X, cond.Op, cond.Y
+		if isNumericLiteralish(x) && !isNumericLiteralish(y) {
+			x, y = y, x
+			op = flipCmp(op)
+		}
+		if !isNumericLiteralish(y) {
+			return true
+		}
+		switch op {
+		case token.LEQ, token.LSS:
+			// if expr <= C { return/panic/... } proves expr above C on
+			// the fall-through path.
+			if terminates(ifs.Body) {
+				guarded[types.ExprString(x)] = true
+			}
+		case token.GTR, token.GEQ:
+			// if expr > C { ...exp lives here... } — positive context.
+			guarded[types.ExprString(x)] = true
+		}
+		return true
+	})
+	return guarded
+}
+
+// isNumericLiteralish reports whether e looks like a constant bound: a
+// basic literal, possibly negated, or a plain identifier (named
+// constant or variable threshold).
+func isNumericLiteralish(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.UnaryExpr:
+		return isNumericLiteralish(e.X)
+	case *ast.Ident:
+		return !isTempName(e.Name)
+	}
+	return false
+}
+
+// flipCmp mirrors a comparison operator for operand swap.
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// checkExpCalls reports unguarded temperature denominators inside
+// math.Exp arguments.
+func checkExpCalls(pass *Pass, body *ast.BlockStmt, guarded map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgFunc(pass.Info, call, "math", "Exp") || len(call.Args) != 1 {
+			return true
+		}
+		ast.Inspect(call.Args[0], func(m ast.Node) bool {
+			div, ok := m.(*ast.BinaryExpr)
+			if !ok || div.Op != token.QUO {
+				return true
+			}
+			for _, factor := range tempFactors(div.Y) {
+				s := types.ExprString(factor)
+				if !guarded[s] && !guarded[types.ExprString(ast.Unparen(div.Y))] {
+					pass.Reportf(div.OpPos, "Arrhenius denominator %s is not guarded against zero/negative temperature before math.Exp", s)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// tempFactors returns the temperature-named identifiers and selector
+// expressions that multiply into e.
+func tempFactors(e ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.MUL || e.Op == token.ADD {
+				walk(e.X)
+				walk(e.Y)
+			}
+		case *ast.Ident:
+			if isTempName(e.Name) {
+				out = append(out, e)
+			}
+		case *ast.SelectorExpr:
+			if isTempName(e.Sel.Name) {
+				out = append(out, e)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

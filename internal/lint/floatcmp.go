@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point expressions.
+//
+// RAMP's lifetime math is a chain of float computations (Arrhenius
+// exponentials, FIT averaging, Weibull quantiles); exact equality on
+// their results is almost always a rounding-sensitive bug — two
+// mathematically equal FIT values rarely compare equal after different
+// evaluation orders. Callers should compare against an epsilon instead.
+//
+// Two idioms stay legal because they are exact by construction:
+//
+//   - comparison against a constant zero (`g != 0`, `pmax == 0`):
+//     sparsity and sentinel tests on values that are exactly zero, a
+//     pattern the thermal solver and RNG rejection loops rely on;
+//   - self-comparison (`x != x`): the portable NaN test.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between floating-point expressions (except exact-zero and NaN-test idioms)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstZero(pass.Info, be.X) || isConstZero(pass.Info, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: NaN test
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison is rounding-sensitive; compare against an epsilon", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	v, ok := constFloatValue(info, e)
+	return ok && v == 0
+}

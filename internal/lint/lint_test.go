@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted patterns of a `// want `x` `y“ comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one expected diagnostic from a fixture comment.
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations scans a fixture file for `// want` comments.
+func parseExpectations(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		_, rest, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		quoted := wantRE.FindAllStringSubmatch(rest, -1)
+		if len(quoted) == 0 {
+			t.Fatalf("%s:%d: want comment without backquoted pattern", path, i+1)
+		}
+		for _, q := range quoted {
+			rx, err := regexp.Compile(q[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, q[1], err)
+			}
+			out = append(out, &expectation{line: i + 1, pattern: rx})
+		}
+	}
+	return out
+}
+
+// runFixture loads testdata/src/<name> and checks the analyzer's
+// diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	expects := map[string][]*expectation{}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, path := range matches {
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es := parseExpectations(t, path)
+		expects[abs] = es
+		total += len(es)
+	}
+	if total == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+
+	for _, d := range diags {
+		abs, err := filepath.Abs(d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range expects[abs] {
+			if !e.matched && e.line == d.Pos.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for path, es := range expects {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q not reported", path, e.line, e.pattern)
+			}
+		}
+	}
+}
+
+func TestFloatCmp(t *testing.T)   { runFixture(t, FloatCmp) }
+func TestUnitSafety(t *testing.T) { runFixture(t, UnitSafety) }
+func TestExpGuard(t *testing.T)   { runFixture(t, ExpGuard) }
+func TestSeedDet(t *testing.T)    { runFixture(t, SeedDet) }
+func TestErrDrop(t *testing.T)    { runFixture(t, ErrDrop) }
+
+// TestByName covers analyzer lookup.
+func TestByName(t *testing.T) {
+	as, err := ByName([]string{"floatcmp", "errdrop"})
+	if err != nil || len(as) != 2 || as[0].Name != "floatcmp" || as[1].Name != "errdrop" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("ByName accepted unknown analyzer")
+	}
+}
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// gate CI applies with `go run ./cmd/rampvet ./...`. Skipped in -short
+// mode: it type-checks the entire module plus the stdlib from source.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis in -short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(loader.ModuleRoot, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,43 @@
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+type engine struct{}
+
+func (engine) Observe(x float64) error { return nil }
+
+// Positive cases: statement-position calls dropping an error.
+
+func positives(e engine) {
+	work()               // want `error result of work is silently discarded`
+	pair()               // want `error result of pair is silently discarded`
+	e.Observe(1)         // want `error result of e.Observe is silently discarded`
+	fmt.Errorf("x%d", 1) // want `error result of fmt.Errorf is silently discarded`
+}
+
+// Negative cases.
+
+func negatives(e engine) {
+	_ = work() // explicit discard is visible intent: ok
+	if err := work(); err != nil {
+		_ = err // handled: ok
+	}
+	fmt.Println("x")                   // stdout diagnostics allowlisted: ok
+	fmt.Fprintln(os.Stderr, "x")       // print-family output allowlisted: ok
+	fmt.Fprintf(os.Stderr, "x%d\n", 1) // ok
+	var b strings.Builder
+	b.WriteString("x") // strings.Builder never returns an error: ok
+	noErr()            // no error result: ok
+	_, _ = pair()      // ok
+}
+
+func noErr() {}

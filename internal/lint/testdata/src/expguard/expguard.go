@@ -1,0 +1,73 @@
+package expguard
+
+import "math"
+
+const (
+	boltzmann = 8.617e-5
+	ea        = 0.9
+)
+
+type conditions struct {
+	TempK float64
+}
+
+// Positive cases: Arrhenius exponentials with unguarded temperature
+// denominators.
+
+func unguarded(tempK float64) float64 {
+	return math.Exp(-ea / (boltzmann * tempK)) // want `tempK is not guarded`
+}
+
+func unguardedField(c conditions) float64 {
+	return math.Exp(-ea / (boltzmann * c.TempK)) // want `c.TempK is not guarded`
+}
+
+func wrongGuard(j, tempK float64) float64 {
+	if j <= 0 {
+		return 0
+	}
+	// j is guarded; the temperature is not.
+	return math.Pow(j, 1.1) * math.Exp(-ea/(boltzmann*tempK)) // want `tempK is not guarded`
+}
+
+func directDenominator(tempK float64) float64 {
+	return math.Exp(ea / tempK) // want `tempK is not guarded`
+}
+
+// Negative cases.
+
+func guarded(tempK float64) float64 {
+	if tempK <= 0 {
+		return 0
+	}
+	return math.Exp(-ea / (boltzmann * tempK)) // early-exit guard: ok
+}
+
+func guardedField(c conditions) float64 {
+	if c.TempK <= 0 {
+		return 0
+	}
+	return math.Exp(-ea / (boltzmann * c.TempK)) // ok
+}
+
+func positiveContext(tempK float64) float64 {
+	if tempK > 0 {
+		return math.Exp(-ea / (boltzmann * tempK)) // positive-context guard: ok
+	}
+	return 0
+}
+
+func guardedPanic(tempK float64) float64 {
+	if tempK < 200 {
+		panic("implausible temperature")
+	}
+	return math.Exp(-ea / (boltzmann * tempK)) // panic guard: ok
+}
+
+func noTemperature(x float64) float64 {
+	return math.Exp(x / 2) // no temperature in the denominator: ok
+}
+
+func noDivision(tempK float64) float64 {
+	return math.Exp(tempK * 1e-3) // no division: ok
+}

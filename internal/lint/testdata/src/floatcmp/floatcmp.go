@@ -1,0 +1,56 @@
+package floatcmp
+
+// Positive cases: rounding-sensitive float equality.
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func indexed(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if x == xs[0] { // want `floating-point == comparison`
+			n++
+		}
+	}
+	return n
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func nonzeroConst(x float64) bool {
+	return x == 0.3 // want `floating-point == comparison`
+}
+
+// Negative cases: exact-by-construction idioms and non-floats.
+
+func zeroSentinel(g float64) bool { return g != 0 } // sparsity test against exact zero: ok
+
+func zeroLHS(g float64) bool { return 0 == g } // ok
+
+func nanTest(x float64) bool { return x != x } // portable NaN test: ok
+
+func ints(a, b int) bool { return a == b } // not floating point: ok
+
+func ordered(a, b float64) bool { return a < b } // ordering, not equality: ok
+
+func suppressedTrailing(a, b float64) bool {
+	return a == b //rampvet:ignore floatcmp fast path of an epsilon comparator
+}
+
+func suppressedStandalone(a, b float64) bool {
+	//rampvet:ignore -- justified and reviewed
+	return a == b
+}
+
+func suppressedOtherAnalyzer(a, b float64) bool {
+	// The directive below names a different analyzer, so floatcmp fires.
+	//rampvet:ignore errdrop
+	return a == b // want `floating-point == comparison`
+}

@@ -1,0 +1,42 @@
+package seeddet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Positive cases: non-deterministic RNG construction.
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now`
+}
+
+func timeSource() rand.Source {
+	return rand.NewSource(int64(time.Now().Nanosecond())) // want `seeded from time.Now`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `global rand.Float64`
+}
+
+func globalIntn(n int) int {
+	return rand.Intn(n) // want `global rand.Intn`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle`
+}
+
+// Negative cases: explicit, config-plumbed seeds.
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok
+}
+
+func method(rng *rand.Rand) float64 {
+	return rng.Float64() // method on an explicit *rand.Rand: ok
+}
+
+func derived(rng *rand.Rand, n int) int {
+	return rng.Intn(n) // ok
+}

@@ -1,0 +1,49 @@
+package unitsafety
+
+type Params struct {
+	AmbientK float64
+	Headroom float64
+}
+
+func SetAmbient(ambientK float64) {}
+
+func Run(tempK float64, n int) {}
+
+func Mix(label string, extras ...float64) {}
+
+type Sensor struct {
+	NoiseStdK   float64 // Kelvin-denominated delta, not an absolute temperature
+	KSiliconWmK float64 // thermal conductivity W/(m·K), a compound unit
+}
+
+// Positive cases: sub-200 literals flowing into Kelvin-named slots.
+
+func positives() {
+	SetAmbient(25)            // want `temperature slot ambientK receives 25`
+	SetAmbient(-40)           // want `Kelvin expected`
+	Run(45.5, 3)              // want `temperature slot tempK receives 45.5`
+	p := Params{AmbientK: 77} // want `temperature slot AmbientK receives 77`
+	p.AmbientK = 150          // want `temperature slot AmbientK receives 150`
+	var sinkTempK float64
+	sinkTempK = 85 // want `temperature slot sinkTempK receives 85`
+	_ = sinkTempK
+	_ = p
+}
+
+// Negative cases.
+
+func negatives() {
+	SetAmbient(293)            // plausible Kelvin: ok
+	SetAmbient(0)              // zero is the unset sentinel: ok
+	Run(400, 150)              // n is a count, not a temperature: ok
+	p := Params{Headroom: 0.9} // not a temperature slot: ok
+	var tempK float64
+	tempK = measured()                            // non-constant value: ok
+	Mix("x", 1, 2)                                // variadic non-temperature params: ok
+	s := Sensor{NoiseStdK: 0.5, KSiliconWmK: 100} // deltas and compound units: ok
+	_ = s
+	_ = tempK
+	_ = p
+}
+
+func measured() float64 { return 300 }

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// minPlausibleConstK mirrors check.MinPlausibleK: no absolute silicon
+// temperature in this model is below 200 K, so a literal under it
+// flowing into a Kelvin-named slot is almost certainly Celsius.
+const minPlausibleConstK = 200
+
+// UnitSafety flags numeric literals below 200 flowing into
+// temperature-typed slots: parameters, struct fields and variables
+// whose names follow the codebase's Kelvin conventions (TempK, tempK,
+// *Temp*, or a trailing-K identifier like ambientK or TqualK).
+//
+// This is the classic Celsius-into-Kelvin bug: `thermal.DefaultParams(45)`
+// silently builds a package model whose ambient is 45 K, and the
+// Arrhenius exponential e^(Ea/kT) turns that into a failure rate about
+// twenty orders of magnitude off. Zero is exempt (the conventional
+// "unset" sentinel, rejected at Validate time instead).
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "flags numeric literals below 200 passed to or assigned into Kelvin-named temperature slots",
+	Run:  runUnitSafety,
+}
+
+func runUnitSafety(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTempArgs(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // x, y := f() — no literal RHS per LHS
+					}
+					if name, ok := tempLHSName(lhs); ok {
+						checkTempValue(pass, n.Rhs[i], name)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && isTempName(key.Name) {
+					checkTempValue(pass, n.Value, key.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTempArgs inspects a call's arguments against the callee's
+// parameter names.
+func checkTempArgs(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		p := params.At(pi)
+		if isTempName(p.Name()) && isNumeric(p.Type()) {
+			checkTempValue(pass, arg, p.Name())
+		}
+	}
+}
+
+// tempLHSName extracts a temperature-conventioned name from an
+// assignment target.
+func tempLHSName(lhs ast.Expr) (string, bool) {
+	var name string
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		name = l.Name
+	case *ast.SelectorExpr:
+		name = l.Sel.Name
+	default:
+		return "", false
+	}
+	return name, isTempName(name)
+}
+
+// checkTempValue reports e if it is a nonzero numeric constant below
+// the plausible Kelvin floor.
+func checkTempValue(pass *Pass, e ast.Expr, slot string) {
+	v, ok := constFloatValue(pass.Info, e)
+	if !ok || v == 0 || v >= minPlausibleConstK {
+		return
+	}
+	pass.Reportf(e.Pos(), "temperature slot %s receives %v — below %v K; Kelvin expected (Celsius value?)", slot, v, float64(minPlausibleConstK))
+}

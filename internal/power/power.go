@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"ramp/internal/check"
 	"ramp/internal/config"
 	"ramp/internal/floorplan"
 )
@@ -88,7 +89,9 @@ func (m *Model) Dynamic(s floorplan.Structure, activity, vddV, freqHz, onFrac fl
 	}
 	vr := vddV / m.tech.VddNominal
 	fr := freqHz / m.tech.BaseFreqHz
-	return m.maxDyn[s] * (IdleFraction + (1-IdleFraction)*activity) * vr * vr * fr * onFrac
+	w := m.maxDyn[s] * (IdleFraction + (1-IdleFraction)*activity) * vr * vr * fr * onFrac
+	check.NonNegative("power.Model.Dynamic", w)
+	return w
 }
 
 // Leakage returns structure s's leakage power (W) at temperature tempK
@@ -99,7 +102,11 @@ func (m *Model) Leakage(s floorplan.Structure, tempK, vddV, onFrac float64) floa
 	area := m.fp.AreaMM2(s)
 	vr := vddV / m.tech.VddNominal
 	scale := math.Exp(m.tech.LeakageBeta * (tempK - m.tech.TLeakRefK))
-	return m.tech.LeakageWPerMM2 * area * scale * vr * vr * onFrac
+	w := m.tech.LeakageWPerMM2 * area * scale * vr * vr * onFrac
+	// NonNegative also rejects +Inf: a runaway exponential here means a
+	// diverged leakage-temperature fixed point upstream.
+	check.NonNegative("power.Model.Leakage", w)
+	return w
 }
 
 // Compute returns per-structure total power (dynamic + leakage) for one

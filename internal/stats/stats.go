@@ -158,7 +158,10 @@ func Clamp(x, lo, hi float64) float64 {
 // AlmostEqual reports whether a and b are equal within a relative
 // tolerance rel (and an absolute floor of rel for values near zero).
 func AlmostEqual(a, b, rel float64) bool {
-	if a == b {
+	// Exact-equality fast path: also the only correct answer for equal
+	// infinities, where the difference below would be NaN.
+	if a == b { //rampvet:ignore floatcmp epsilon comparator's own fast path
+
 		return true
 	}
 	diff := math.Abs(a - b)

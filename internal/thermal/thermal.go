@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 
+	"ramp/internal/check"
 	"ramp/internal/floorplan"
 	"ramp/internal/power"
 )
@@ -161,7 +162,11 @@ func (m *Model) SteadyState(blockPower power.Vector) []float64 {
 	for s := 0; s < int(floorplan.NumStructures); s++ {
 		b[s] += blockPower[s]
 	}
-	return a.solve(b)
+	t := a.solve(b)
+	for _, v := range t {
+		check.TempK("thermal.SteadyState", v)
+	}
+	return t
 }
 
 // SinkSteadyTemp returns the sink temperature reached under a constant
@@ -202,6 +207,11 @@ func (m *Model) QuasiSteady(blockPower power.Vector, sinkTempK float64) power.Ve
 	t := a.solve(b)
 	var out power.Vector
 	copy(out[:], t[:floorplan.NumStructures])
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		// A block temperature outside plausible silicon range means the
+		// power input or the pinned sink temperature carried a unit bug.
+		check.TempK("thermal.QuasiSteady", out[s])
+	}
 	return out
 }
 

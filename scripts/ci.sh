@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's single verification entry point.
+#
+# Runs the same lanes as .github/workflows/ci.yml: formatting, vet,
+# build, the full test suite, the rampdebug invariant lane, the race
+# lane (with -short so it stays fast), and the rampvet domain linter.
+# Every lane runs even if an earlier one fails; the exit status is the
+# number of failed lanes.
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+
+lane() {
+	local name=$1
+	shift
+	echo "==> ${name}"
+	if "$@"; then
+		echo "    ok"
+	else
+		echo "    FAIL: ${name}" >&2
+		failures=$((failures + 1))
+	fi
+}
+
+check_gofmt() {
+	local out
+	out=$(gofmt -l .)
+	if [ -n "${out}" ]; then
+		echo "gofmt needs to be run on:" >&2
+		echo "${out}" >&2
+		return 1
+	fi
+}
+
+lane "gofmt" check_gofmt
+lane "go vet" go vet ./...
+lane "go build" go build ./...
+lane "go test" go test ./...
+lane "go test -tags rampdebug" go test -tags rampdebug ./...
+lane "go test -race (short)" go test -race -short ./internal/...
+lane "rampvet" go run ./cmd/rampvet ./...
+
+if [ "${failures}" -ne 0 ]; then
+	echo "${failures} lane(s) failed" >&2
+fi
+exit "${failures}"
