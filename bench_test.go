@@ -171,6 +171,21 @@ func BenchmarkThermalSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkThermalQuasiSteady measures the pre-factorized quasi-steady
+// solve — the innermost call of every evaluation — and reports
+// allocations, which must be zero (the matrix is factorized once at
+// construction; each call is two triangular substitutions on the
+// stack).
+func BenchmarkThermalQuasiSteady(b *testing.B) {
+	env := quickEnv()
+	pw := powerVector(2.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Thermal.QuasiSteady(pw, 340)
+	}
+}
+
 func powerVector(x float64) ramp.PowerVector {
 	var v ramp.PowerVector
 	for i := range v {
@@ -200,18 +215,42 @@ func BenchmarkRAMPObserve(b *testing.B) {
 	}
 }
 
-// BenchmarkEvaluate measures one full pipeline evaluation (simulate,
-// power, thermal, RAMP) at quick settings.
+// BenchmarkEvaluate measures one full cold pipeline evaluation
+// (simulate, power, thermal, RAMP) at quick settings. A fresh Env per
+// iteration defeats the result cache so the number stays the cost of
+// actually simulating.
 func BenchmarkEvaluate(b *testing.B) {
-	env := quickEnv()
 	app := trace.Twolf()
-	qual := env.Qualification(400)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := env.Evaluate(app, env.Base, qual); err != nil {
+		env := quickEnv()
+		if _, err := env.Evaluate(app, env.Base, qualAt(env, 400)); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEvaluateCacheHit measures the memoized path: the same
+// (app, proc) on a warm Env, requalified to a different T_qual each
+// iteration so the RAMP re-assessment is included.
+func BenchmarkEvaluateCacheHit(b *testing.B) {
+	env := quickEnv()
+	app := trace.Twolf()
+	if _, err := env.Evaluate(app, env.Base, qualAt(env, 400)); err != nil {
+		b.Fatal(err)
+	}
+	quals := []float64{400, 370, 345, 325}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Evaluate(app, env.Base, qualAt(env, quals[i%len(quals)])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func qualAt(env *exp.Env, tqualK float64) ramp.Qualification {
+	return env.Qualification(tqualK)
 }
 
 // BenchmarkScalingStudy regenerates the Section 1.2 technology-scaling

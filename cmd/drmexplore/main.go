@@ -18,6 +18,7 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/profiling"
 	"ramp/internal/trace"
 )
 
@@ -29,7 +30,9 @@ func main() {
 		quick   = flag.Bool("quick", false, "use short simulation runs")
 		step    = flag.Float64("step", 0.125e9, "DVS frequency grid step in Hz")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
 
 	opts := exp.DefaultOptions()
 	if *quick {

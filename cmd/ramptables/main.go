@@ -16,6 +16,7 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/profiling"
 )
 
 func main() {
@@ -24,7 +25,9 @@ func main() {
 		figure = flag.Int("figure", 0, "print only this figure (1)")
 		quick  = flag.Bool("quick", false, "use short simulation runs")
 	)
+	prof := profiling.AddFlags(flag.CommandLine)
 	flag.Parse()
+	defer prof.MustStart()()
 
 	opts := exp.DefaultOptions()
 	if *quick {

@@ -183,19 +183,19 @@ func (lm *LifetimeModel) TimeToFailureFraction(p float64) (float64, error) {
 // Sample draws one processor lifetime (hours): the minimum of one draw
 // per component (series system), using inverse-CDF sampling per Weibull.
 func (lm *LifetimeModel) Sample(rng *rand.Rand) float64 {
-	min := math.Inf(1)
+	minT := math.Inf(1)
 	for _, c := range lm.comps {
 		u := rng.Float64()
 		for u == 0 {
 			u = rng.Float64()
 		}
 		t := c.scale * math.Pow(-math.Log(u), 1/c.shape)
-		if t < min {
-			min = t
+		if t < minT {
+			minT = t
 		}
 	}
-	check.NonNegative("core.LifetimeModel.Sample", min)
-	return min
+	check.NonNegative("core.LifetimeModel.Sample", minT)
+	return minT
 }
 
 // MonteCarloMTTFHours estimates the mean lifetime from n sampled

@@ -130,38 +130,45 @@ type Choice struct {
 }
 
 // Select picks the best-performing candidate meeting the FIT target at
-// the given qualification point.
+// the given qualification point. Requalification — the expensive part —
+// runs on the environment's worker pool; the selection itself scans the
+// assessments serially in candidate order, so the outcome (including
+// tie-breaking towards the earlier candidate) is identical to a fully
+// sequential pass.
 func (s *Sweep) Select(env *exp.Env, qual core.Qualification) (Choice, error) {
-	var best Choice
-	var fallback Choice
-	fallbackSet := false
-	for _, r := range s.Candidates {
-		a, err := env.Requalify(r, qual)
-		if err != nil {
-			return Choice{}, err
-		}
-		rel := r.BIPS / s.Base.BIPS
-		check.NonNegative("drm.Sweep.Select.FIT", a.TotalFIT)
-		check.NonNegative("drm.Sweep.Select.RelPerf", rel)
-		c := Choice{Proc: r.Proc, Result: r, FIT: a.TotalFIT, RelPerf: rel}
-		if a.TotalFIT <= qual.TargetFIT {
-			c.Feasible = true
-			if !best.Feasible || rel > best.RelPerf {
-				best = c
-			}
-		}
-		if !fallbackSet || a.TotalFIT < fallback.FIT {
-			fallback = c
-			fallbackSet = true
-		}
-	}
-	if best.Feasible {
-		return best, nil
-	}
-	if !fallbackSet {
+	if len(s.Candidates) == 0 {
 		return Choice{}, fmt.Errorf("drm: empty candidate set")
 	}
-	return fallback, nil
+	assessments, err := env.RequalifyAll(s.Candidates, qual)
+	if err != nil {
+		return Choice{}, err
+	}
+	best, fallback := -1, -1
+	var bestRel, fallbackFIT float64
+	for i := range s.Candidates {
+		fit := assessments[i].TotalFIT
+		rel := s.Candidates[i].BIPS / s.Base.BIPS
+		check.NonNegative("drm.Sweep.Select.FIT", fit)
+		check.NonNegative("drm.Sweep.Select.RelPerf", rel)
+		if fit <= qual.TargetFIT && (best < 0 || rel > bestRel) {
+			best, bestRel = i, rel
+		}
+		if fallback < 0 || fit < fallbackFIT {
+			fallback, fallbackFIT = i, fit
+		}
+	}
+	pick, feasible := fallback, false
+	if best >= 0 {
+		pick, feasible = best, true
+	}
+	r := s.Candidates[pick]
+	return Choice{
+		Proc:     r.Proc,
+		Result:   r,
+		FIT:      assessments[pick].TotalFIT,
+		RelPerf:  r.BIPS / s.Base.BIPS,
+		Feasible: feasible,
+	}, nil
 }
 
 // Best runs a full sweep and selects for one qualification point.

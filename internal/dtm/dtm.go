@@ -63,31 +63,40 @@ func (o *Oracle) Sweep(app trace.Profile) (*Sweep, error) {
 }
 
 // Select picks the best-performing operating point whose peak
-// temperature respects tmaxK.
+// temperature respects tmaxK. The scan tracks indices rather than
+// copying each candidate Result (a large struct) into a Choice; a DVS
+// ladder is consulted once per thermal design point across every
+// figure regeneration.
 func (s *Sweep) Select(tmaxK float64) (Choice, error) {
 	if len(s.Candidates) == 0 {
 		return Choice{}, fmt.Errorf("dtm: empty candidate set")
 	}
-	var best Choice
-	coolest := Choice{MaxTempK: s.Candidates[0].MaxTempK, Proc: s.Candidates[0].Proc, Result: s.Candidates[0]}
-	for _, r := range s.Candidates {
-		rel := r.BIPS / s.Base.BIPS
-		c := Choice{Proc: r.Proc, Result: r, MaxTempK: r.MaxTempK, RelPerf: rel}
+	best, coolest := -1, 0
+	var bestRel float64
+	for i := range s.Candidates {
+		r := &s.Candidates[i]
 		if r.MaxTempK <= tmaxK {
-			c.Feasible = true
-			if !best.Feasible || rel > best.RelPerf {
-				best = c
+			rel := r.BIPS / s.Base.BIPS
+			if best < 0 || rel > bestRel {
+				best, bestRel = i, rel
 			}
 		}
-		if r.MaxTempK < coolest.MaxTempK {
-			coolest = c
+		if r.MaxTempK < s.Candidates[coolest].MaxTempK {
+			coolest = i
 		}
 	}
-	if best.Feasible {
-		return best, nil
+	pick, feasible := coolest, false
+	if best >= 0 {
+		pick, feasible = best, true
 	}
-	coolest.RelPerf = coolest.Result.BIPS / s.Base.BIPS
-	return coolest, nil
+	r := s.Candidates[pick]
+	return Choice{
+		Proc:     r.Proc,
+		Result:   r,
+		MaxTempK: r.MaxTempK,
+		RelPerf:  r.BIPS / s.Base.BIPS,
+		Feasible: feasible,
+	}, nil
 }
 
 // Best runs a sweep and selects for one thermal design point.

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ramp/internal/config"
+	"ramp/internal/core"
+)
+
+// evalKey identifies the qualification-independent part of one
+// evaluation: what ran (application, seed, run lengths, methodology
+// knobs) and on what hardware (every numeric field of the processor
+// configuration). Proc.Name is cleared before keying — naming is
+// cosmetic, so the base machine and the identically-configured DVS grid
+// point "w128-a6-f4@4.00GHz" memoize to the same simulation. The
+// qualification point is deliberately absent: simulation, power and
+// temperature do not depend on it, and Requalify derives any T_qual's
+// assessment from the cached epoch rows.
+type evalKey struct {
+	app  string
+	proc config.Proc
+	opts Options // includes Seed; fixed per Env, kept for content-keying
+}
+
+// cacheEntry memoizes one evaluation. The first Evaluate for a key runs
+// the simulation inside once; concurrent callers for the same key block
+// on once rather than duplicating the work (singleflight). ready flips
+// after once completes so lock-free readers (Requalify's fallback) know
+// res/err are safe to read.
+type cacheEntry struct {
+	once  sync.Once
+	ready atomic.Bool
+	res   Result             // Epochs retained even under DropEpochRows
+	qual  core.Qualification // qualification res.Assessment was computed for
+	err   error
+}
+
+// evalCache is the concurrency-safe memo table hanging off an Env. The
+// zero value is ready to use.
+type evalCache struct {
+	mu sync.Mutex
+	m  map[evalKey]*cacheEntry
+}
+
+// entry returns the entry for k, creating it if absent.
+func (c *evalCache) entry(k evalKey) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[evalKey]*cacheEntry)
+	}
+	e := c.m[k]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[k] = e
+	}
+	return e
+}
+
+// lookup returns the completed entry for k, or nil if the key is absent
+// or still being computed.
+func (c *evalCache) lookup(k evalKey) *cacheEntry {
+	c.mu.Lock()
+	e := c.m[k]
+	c.mu.Unlock()
+	if e == nil || !e.ready.Load() {
+		return nil
+	}
+	return e
+}
+
+// Len reports how many distinct evaluations have been memoized
+// (completed or in flight); exported for tests and diagnostics.
+func (c *evalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -17,6 +17,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -42,6 +43,22 @@ type Options struct {
 	// (the paper uses two).
 	LeakageIters int
 	SinkPasses   int
+
+	// TolK enables adaptive convergence in the per-epoch fixed point:
+	// iteration stops as soon as the largest per-block temperature update
+	// falls below TolK kelvin (never exceeding LeakageIters). The
+	// feedback is a contraction, so an early exit perturbs temperatures
+	// by at most ~TolK and cuts iterations on cool/low-power
+	// configurations. 0 disables the early exit (always run LeakageIters,
+	// bitwise-identical to the fixed-count behaviour).
+	TolK float64
+
+	// DropEpochRows strips the per-epoch rows from returned Results,
+	// keeping only aggregates. Sweeps over hundreds of candidates hold
+	// every Result alive; the rows dominate that memory and most callers
+	// only read aggregates. The evaluation cache retains the rows
+	// internally, so Requalify still works on a stripped Result.
+	DropEpochRows bool
 }
 
 // DefaultOptions returns run lengths that reach cache steady state for
@@ -54,8 +71,16 @@ func DefaultOptions() Options {
 		Seed:         1,
 		LeakageIters: 4,
 		SinkPasses:   2,
+		//rampvet:ignore unitsafety -- TolK is a temperature *difference*, not an absolute temperature
+		TolK: DefaultTolK,
 	}
 }
+
+// DefaultTolK is the default fixed-point convergence tolerance (kelvin).
+// It is far below any physically meaningful temperature difference and
+// below the precision of every reported figure, so enabling it preserves
+// all results; see DESIGN.md §7.
+const DefaultTolK = 1e-5
 
 // QuickOptions returns much shorter runs for tests and benchmarks.
 func QuickOptions() Options {
@@ -66,11 +91,14 @@ func QuickOptions() Options {
 		Seed:         1,
 		LeakageIters: 3,
 		SinkPasses:   2,
+		//rampvet:ignore unitsafety -- TolK is a temperature *difference*, not an absolute temperature
+		TolK: DefaultTolK,
 	}
 }
 
 // Env bundles the shared models of one experimental setup. It is
-// immutable after construction and safe for concurrent Evaluate calls.
+// immutable after construction (the internal result cache is
+// concurrency-safe) and safe for concurrent Evaluate calls.
 type Env struct {
 	Tech    config.Tech
 	Base    config.Proc
@@ -79,6 +107,12 @@ type Env struct {
 	Thermal *thermal.Model
 	Params  core.Params
 	Opts    Options
+
+	// cache memoizes evaluations by (app, proc, Options) so sweeps that
+	// revisit a configuration — the base machine inside every adaptation
+	// sweep, overlapping Arch/DVS/ArchDVS candidate sets, repeated
+	// figure regenerations — simulate each distinct point once.
+	cache evalCache
 }
 
 // NewEnv builds the standard environment: 65 nm technology, Table 1 base
@@ -163,7 +197,54 @@ func (r Result) FIT() float64 { return r.Assessment.TotalFIT }
 
 // Evaluate runs app on proc and returns performance, power, thermal and
 // reliability results. qual sets the RAMP qualification point.
+//
+// Results are memoized: the first call for a given (app, proc, Options)
+// simulates; subsequent calls return the cached outcome, re-deriving
+// only the RAMP assessment when qual differs (Requalify — simulation,
+// power and temperature are qualification-independent). Concurrent
+// calls for the same key share one simulation. Cached Results share
+// their epoch-row backing array; callers must treat Epochs as
+// read-only.
 func (e *Env) Evaluate(app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
+	ent := e.cache.entry(e.keyFor(app.Name, proc))
+	ent.once.Do(func() {
+		ent.res, ent.err = e.evaluate(app, proc, qual)
+		ent.qual = qual
+		ent.ready.Store(true)
+	})
+	if ent.err != nil {
+		return Result{}, ent.err
+	}
+	res := ent.res
+	if qual != ent.qual {
+		a, err := e.Requalify(ent.res, qual)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Assessment = a
+	}
+	// The stored result may carry a different cosmetic Proc.Name for the
+	// same configuration; report the caller's.
+	res.App = app.Name
+	res.Proc = proc
+	if e.Opts.DropEpochRows {
+		res.Epochs = nil
+	}
+	return res, nil
+}
+
+// keyFor builds the cache key for an (application, configuration) pair.
+func (e *Env) keyFor(app string, proc config.Proc) evalKey {
+	proc.Name = ""
+	return evalKey{app: app, proc: proc, opts: e.Opts}
+}
+
+// CachedEvaluations reports how many distinct (app, proc) points have
+// been simulated (diagnostic).
+func (e *Env) CachedEvaluations() int { return e.cache.Len() }
+
+// evaluate is the uncached evaluation pipeline.
+func (e *Env) evaluate(app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
 	gen, err := trace.NewGenerator(app, e.Opts.Seed)
 	if err != nil {
 		return Result{}, err
@@ -261,32 +342,63 @@ func (e *Env) EpochConditions(activity [floorplan.NumStructures]float64, on powe
 
 // epochFixedPoint iterates the leakage-temperature feedback for one
 // epoch: temperatures determine leakage, leakage determines power,
-// power determines temperatures.
+// power determines temperatures. With Options.TolK > 0 the loop exits as
+// soon as the update is converged below the tolerance; LeakageIters is
+// always an upper bound, so the adaptive exit can only skip iterations
+// whose effect would be under TolK.
 func (e *Env) epochFixedPoint(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector) {
 	var act power.Vector
 	copy(act[:], activity[:])
 	temps = power.Uniform(sinkK + 15)
 	iters := max(1, e.Opts.LeakageIters)
+	tol := e.Opts.TolK
 	for i := 0; i < iters; i++ {
 		pw = e.Power.Compute(act, on, temps, proc.VddV, proc.FreqHz)
-		temps = e.Thermal.QuasiSteady(pw, sinkK)
+		next := e.Thermal.QuasiSteady(pw, sinkK)
+		converged := tol > 0 && maxAbsDelta(next, temps) < tol
+		temps = next
+		if converged {
+			break
+		}
 	}
 	return temps, pw
+}
+
+// maxAbsDelta returns the largest per-component absolute difference.
+func maxAbsDelta(a, b power.Vector) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 // Requalify recomputes the RAMP assessment of an existing Result under a
 // different qualification point, reusing the stored per-epoch simulation
 // and thermal data. Simulation, power and temperature do not depend on
 // the qualification point, so exploring many T_qual values only needs one
-// Evaluate per (application, configuration).
+// Evaluate per (application, configuration). A Result whose epoch rows
+// were stripped (Options.DropEpochRows) is requalified from the rows the
+// evaluation cache retains.
 func (e *Env) Requalify(r Result, qual core.Qualification) (core.Assessment, error) {
+	rows := r.Epochs
+	if len(rows) == 0 {
+		if ent := e.cache.lookup(e.keyFor(r.App, r.Proc)); ent != nil && ent.err == nil {
+			rows = ent.res.Epochs
+		}
+	}
+	if len(rows) == 0 {
+		return core.Assessment{}, fmt.Errorf("exp: Requalify %s/%s: no epoch rows (result predates this Env or was never evaluated here)", r.App, r.Proc.Name)
+	}
 	engine, err := core.NewEngine(e.FP, e.Params, qual)
 	if err != nil {
 		return core.Assessment{}, err
 	}
 	on := power.OnFractions(r.Proc, e.Base)
-	for i := range r.Epochs {
-		row := &r.Epochs[i]
+	for i := range rows {
+		row := &rows[i]
 		iv := core.Interval{DurationSec: row.Sim.TimeSec}
 		for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
 			iv.Structures[s] = core.Conditions{
@@ -304,6 +416,40 @@ func (e *Env) Requalify(r Result, qual core.Qualification) (core.Assessment, err
 	return engine.Assess()
 }
 
+// RequalifyAll requalifies every result against one qualification point
+// and returns the assessments in input order. Requalification is
+// independent per result (each call builds its own RAMP engine over
+// read-only epoch rows), so the batch runs on the same bounded worker
+// pool as EvaluateAll; a Select over a full ArchDVS sweep re-assesses
+// hundreds of candidates per T_qual and this is its hot loop.
+func (e *Env) RequalifyAll(results []Result, qual core.Qualification) ([]core.Assessment, error) {
+	assessments := make([]core.Assessment, len(results))
+	errs := make([]error, len(results))
+	workers := min(len(results), max(1, runtime.GOMAXPROCS(0)))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				assessments[i], errs[i] = e.Requalify(results[i], qual)
+			}
+		}()
+	}
+	for i := range results {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: requalify %d (%s/%s): %w", i, results[i].App, results[i].Proc.Name, err)
+		}
+	}
+	return assessments, nil
+}
+
 // EvalJob names one (application, processor, qualification) evaluation.
 type EvalJob struct {
 	App  trace.Profile
@@ -312,21 +458,29 @@ type EvalJob struct {
 }
 
 // EvaluateAll runs the jobs concurrently (they are independent) and
-// returns results in job order. The first error aborts the batch.
+// returns results in job order. A bounded worker pool — never more
+// goroutines than can run — drains a job channel; a full ArchDVS sweep
+// queues thousands of jobs without spawning thousands of blocked
+// goroutines. The first error (in job order) aborts the batch.
 func (e *Env) EvaluateAll(jobs []EvalJob) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
+	workers := min(len(jobs), max(1, runtime.GOMAXPROCS(0)))
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	for i := range jobs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = e.Evaluate(jobs[i].App, jobs[i].Proc, jobs[i].Qual)
-		}(i)
+			for i := range idx {
+				results[i], errs[i] = e.Evaluate(jobs[i].App, jobs[i].Proc, jobs[i].Qual)
+			}
+		}()
 	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

@@ -176,7 +176,8 @@ func Figure4(e *exp.Env, apps []trace.Profile, stepHz float64) ([]Figure4Row, er
 		dtmSweep := &dtm.Sweep{App: app, Base: sweep.Base, Candidates: sweep.Candidates}
 		row := Figure4Row{App: app.Name}
 		for _, t := range Figure4TempsK {
-			drmChoice, err := sweep.Select(e, e.Qualification(t))
+			qual := e.Qualification(t)
+			drmChoice, err := sweep.Select(e, qual)
 			if err != nil {
 				return nil, err
 			}
@@ -187,7 +188,7 @@ func Figure4(e *exp.Env, apps []trace.Profile, stepHz float64) ([]Figure4Row, er
 			row.DRMFreqGHz = append(row.DRMFreqGHz, drmChoice.Proc.FreqHz/1e9)
 			row.DTMFreqGHz = append(row.DTMFreqGHz, dtmChoice.Proc.FreqHz/1e9)
 			row.DRMPeakK = append(row.DRMPeakK, drmChoice.Result.MaxTempK)
-			a, err := e.Requalify(dtmChoice.Result, e.Qualification(t))
+			a, err := e.Requalify(dtmChoice.Result, qual)
 			if err != nil {
 				return nil, err
 			}

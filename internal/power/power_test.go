@@ -16,12 +16,12 @@ func model() *Model {
 func TestDynamicIdleFloor(t *testing.T) {
 	m := model()
 	idle := m.Dynamic(floorplan.IntALU, 0, 1.0, 4e9, 1)
-	max := m.Dynamic(floorplan.IntALU, 1, 1.0, 4e9, 1)
-	if math.Abs(idle/max-IdleFraction) > 1e-12 {
-		t.Fatalf("idle/max = %v, want %v", idle/max, IdleFraction)
+	full := m.Dynamic(floorplan.IntALU, 1, 1.0, 4e9, 1)
+	if math.Abs(idle/full-IdleFraction) > 1e-12 {
+		t.Fatalf("idle/full = %v, want %v", idle/full, IdleFraction)
 	}
-	if max != m.MaxDynamic()[floorplan.IntALU] {
-		t.Fatalf("full-activity power %v != budget %v", max, m.MaxDynamic()[floorplan.IntALU])
+	if full != m.MaxDynamic()[floorplan.IntALU] {
+		t.Fatalf("full-activity power %v != budget %v", full, m.MaxDynamic()[floorplan.IntALU])
 	}
 }
 

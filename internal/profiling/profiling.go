@@ -1,0 +1,82 @@
+// Package profiling wires pprof CPU and heap profiling into the command
+// binaries. Every experiment command registers the same two flags so a
+// slow sweep can always be profiled the same way:
+//
+//	drmexplore -figure 2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the profile destinations parsed from the command line.
+type Config struct {
+	CPUPath string
+	MemPath string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs and returns the
+// Config that will receive their values after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPUPath, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&c.MemPath, "memprofile", "", "write a pprof heap profile to `file` on exit")
+	return c
+}
+
+// Start begins CPU profiling if requested and returns a stop function
+// that ends the CPU profile and writes the heap profile. The stop
+// function is never nil and is safe to call when no profiling was
+// requested.
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPUPath != "" {
+		cpuFile, err = os.Create(c.CPUPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close() // the start error is the one worth reporting
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close CPU profile: %w", err)
+			}
+		}
+		if c.MemPath != "" {
+			f, err := os.Create(c.MemPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// MustStart is Start for command mains: any error is fatal.
+func (c *Config) MustStart() (stop func()) {
+	s, err := c.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return func() {
+		if err := s(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}

@@ -11,8 +11,15 @@
 // interface (t/(k·A)); lateral resistances follow conduction along the
 // die between block centres through the shared edge cross-section. Every
 // node has a heat capacity, so the model supports both steady-state
-// solves (dense Gaussian elimination — the network is tiny) and transient
-// integration (implicit Euler, unconditionally stable).
+// solves and transient integration (implicit Euler, unconditionally
+// stable).
+//
+// The conductance matrices never change after construction — only the
+// power vector and the pinned sink temperature (the right-hand side) do —
+// so New factorizes both steady-state systems once (LU with partial
+// pivoting) and every QuasiSteady/SteadyState call is a pair of O(n²)
+// triangular substitutions with no matrix assembly and no heap
+// allocation. See DESIGN.md §7.
 //
 // The paper's two-pass heat-sink initialisation (Section 6.3) is exposed
 // directly: the sink's RC time constant (~minutes) is far larger than a
@@ -31,6 +38,11 @@ import (
 	"ramp/internal/floorplan"
 	"ramp/internal/power"
 )
+
+// numNodes is the (compile-time) total node count: blocks + spreader +
+// sink. Solver scratch lives in fixed-size stack arrays of this length so
+// the hot solves never touch the heap.
+const numNodes = int(floorplan.NumStructures) + 2
 
 // Params holds the physical constants of the package stack.
 type Params struct {
@@ -64,7 +76,7 @@ func DefaultParams(ambientK float64) Params {
 	}
 }
 
-// Model is the assembled RC network.
+// Model is the assembled RC network with its pre-factorized solvers.
 type Model struct {
 	fp     *floorplan.Floorplan
 	p      Params
@@ -73,9 +85,17 @@ type Model struct {
 	g      [][]float64 // conductance between node pairs (symmetric)
 	c      []float64   // per-node heat capacity
 	gSinkA float64     // sink -> ambient conductance
+
+	// Pre-factorized systems (the matrices depend only on geometry and
+	// package constants, fixed at construction).
+	quasi   lu        // (n-1)-node quasi-steady system, sink pinned
+	full    lu        // n-node full network with sink->ambient coupling
+	fullA   []float64 // pristine copy of the full matrix, for Step's C/dt refactorization
+	gToSink []float64 // per-node conductance into the pinned sink (RHS assembly)
 }
 
-// New assembles the thermal network for a floorplan.
+// New assembles the thermal network for a floorplan and factorizes its
+// steady-state systems.
 func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 	if p.DieThicknessM <= 0 || p.KSiliconWmK <= 0 || p.SinkRKW <= 0 || p.SpreaderRKW <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive physical parameter: %+v", p)
@@ -125,7 +145,58 @@ func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 	m.g[sink][spreader] += gss
 	m.c[spreader] = p.SpreaderCJK
 	m.c[sink] = p.SinkCJK
+
+	if err := m.factorizeSystems(); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// factorizeSystems assembles and LU-factorizes the two steady-state
+// systems, and keeps a pristine copy of the full matrix for transient
+// refactorization.
+func (m *Model) factorizeSystems() error {
+	n := m.n
+	sink := m.sinkIndex()
+
+	// Full network: conductance Laplacian plus the sink->ambient leg.
+	m.fullA = make([]float64, n*n)
+	m.fillConductance(m.fullA, n)
+	m.fullA[sink*n+sink] += m.gSinkA
+	if err := m.full.factorize(n, append([]float64(nil), m.fullA...)); err != nil {
+		return err
+	}
+
+	// Quasi-steady network: the sink row/column is removed (pinned
+	// temperature); conductances into the sink stay on the diagonal and
+	// feed the RHS.
+	nq := n - 1
+	qa := make([]float64, nq*nq)
+	m.fillConductance(qa, nq)
+	m.gToSink = make([]float64, nq)
+	for i := 0; i < nq; i++ {
+		g := m.g[i][sink]
+		m.gToSink[i] = g
+		qa[i*nq+i] += g
+	}
+	return m.quasi.factorize(nq, qa)
+}
+
+// fillConductance writes the Laplacian of the first dim nodes of the
+// conductance graph into the row-major dim×dim matrix a.
+func (m *Model) fillConductance(a []float64, dim int) {
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			if i == j {
+				continue
+			}
+			g := m.g[i][j]
+			if g != 0 {
+				a[i*dim+i] += g
+				a[i*dim+j] -= g
+			}
+		}
+	}
 }
 
 // MustNew is New, panicking on bad parameters.
@@ -152,17 +223,14 @@ func (m *Model) spreaderIndex() int { return m.n - 2 }
 // SteadyState solves the full network for constant per-block power and
 // returns all node temperatures (blocks, then spreader, then sink).
 func (m *Model) SteadyState(blockPower power.Vector) []float64 {
-	a := newDense(m.n)
-	b := make([]float64, m.n)
-	m.fillConductance(a)
-	// Sink couples to ambient.
+	var b [numNodes]float64
 	sink := m.sinkIndex()
-	a.add(sink, sink, m.gSinkA)
-	b[sink] += m.gSinkA * m.p.AmbientK
+	b[sink] = m.gSinkA * m.p.AmbientK
 	for s := 0; s < int(floorplan.NumStructures); s++ {
 		b[s] += blockPower[s]
 	}
-	t := a.solve(b)
+	t := make([]float64, m.n)
+	m.full.solveInto(t, b[:m.n])
 	for _, v := range t {
 		check.TempK("thermal.SteadyState", v)
 	}
@@ -180,33 +248,22 @@ func (m *Model) SinkSteadyTemp(totalPowerW float64) float64 {
 // spreader time constants are milliseconds, far below RAMP's sampling
 // interval, so each interval sees its steady temperatures; the sink
 // integrates over the whole run.
+//
+// This is the innermost call of every evaluation (once per leakage
+// iteration per epoch); against the pre-factorized system it performs no
+// assembly, no elimination, and no heap allocation.
 func (m *Model) QuasiSteady(blockPower power.Vector, sinkTempK float64) power.Vector {
 	n := m.n - 1 // exclude the pinned sink
-	a := newDense(n)
-	b := make([]float64, n)
-	sink := m.sinkIndex()
+	var b, x [numNodes]float64
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			g := m.g[i][j]
-			if g != 0 {
-				a.add(i, i, g)
-				a.add(i, j, -g)
-			}
-		}
-		if g := m.g[i][sink]; g != 0 {
-			a.add(i, i, g)
-			b[i] += g * sinkTempK
-		}
+		b[i] = m.gToSink[i] * sinkTempK
 	}
 	for s := 0; s < int(floorplan.NumStructures); s++ {
 		b[s] += blockPower[s]
 	}
-	t := a.solve(b)
+	m.quasi.solveInto(x[:n], b[:n])
 	var out power.Vector
-	copy(out[:], t[:floorplan.NumStructures])
+	copy(out[:], x[:floorplan.NumStructures])
 	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
 		// A block temperature outside plausible silicon range means the
 		// power input or the pinned sink temperature carried a unit bug.
@@ -215,26 +272,17 @@ func (m *Model) QuasiSteady(blockPower power.Vector, sinkTempK float64) power.Ve
 	return out
 }
 
-// fillConductance writes the Laplacian of the conductance graph into a.
-func (m *Model) fillConductance(a *dense) {
-	for i := 0; i < m.n; i++ {
-		for j := 0; j < m.n; j++ {
-			if i == j {
-				continue
-			}
-			g := m.g[i][j]
-			if g != 0 {
-				a.add(i, i, g)
-				a.add(i, j, -g)
-			}
-		}
-	}
-}
-
-// State integrates the network through time (implicit Euler).
+// State integrates the network through time (implicit Euler). It caches
+// the factorization of (C/dt + G), refactorizing only when dt changes, so
+// fixed-step integration factorizes once. A State belongs to one
+// goroutine; the underlying Model stays shareable.
 type State struct {
 	m     *Model
 	temps []float64
+
+	dt          float64 // dt the cached factorization was built for (0 = none)
+	step        lu
+	stepA, b, x []float64
 }
 
 // NewState returns a transient state with every node at temp0.
@@ -263,21 +311,35 @@ func (st *State) Step(blockPower power.Vector, dt float64) {
 		panic("thermal: non-positive dt")
 	}
 	m := st.m
-	a := newDense(m.n)
-	b := make([]float64, m.n)
-	m.fillConductance(a)
-	sink := m.sinkIndex()
-	a.add(sink, sink, m.gSinkA)
-	b[sink] += m.gSinkA * m.p.AmbientK
-	for i := 0; i < m.n; i++ {
-		cd := m.c[i] / dt
-		a.add(i, i, cd)
-		b[i] += cd * st.temps[i]
+	n := m.n
+	//rampvet:ignore floatcmp -- exact match decides factorization reuse; any differing dt must refactorize
+	if st.dt != dt {
+		if st.stepA == nil {
+			st.stepA = make([]float64, n*n)
+			st.b = make([]float64, n)
+			st.x = make([]float64, n)
+		}
+		copy(st.stepA, m.fullA)
+		for i := 0; i < n; i++ {
+			st.stepA[i*n+i] += m.c[i] / dt
+		}
+		if err := st.step.factorize(n, st.stepA); err != nil {
+			// Cannot happen: C/dt only strengthens the diagonal of an
+			// already non-singular matrix.
+			panic(err)
+		}
+		st.dt = dt
 	}
+	b := st.b
+	for i := range b {
+		b[i] = m.c[i] / dt * st.temps[i]
+	}
+	b[m.sinkIndex()] += m.gSinkA * m.p.AmbientK
 	for s := 0; s < int(floorplan.NumStructures); s++ {
 		b[s] += blockPower[s]
 	}
-	st.temps = a.solve(b)
+	st.step.solveInto(st.x, b)
+	copy(st.temps, st.x)
 }
 
 // BlockTemps returns the current per-block temperatures.
@@ -299,19 +361,104 @@ func (st *State) Temps() []float64 { return append([]float64(nil), st.temps...) 
 // MaxBlock returns the hottest block and its temperature.
 func MaxBlock(t power.Vector) (floorplan.Structure, float64) {
 	best := floorplan.Structure(0)
-	max := math.Inf(-1)
+	maxT := math.Inf(-1)
 	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
-		if t[s] > max {
-			max = t[s]
+		if t[s] > maxT {
+			maxT = t[s]
 			best = s
 		}
 	}
-	return best, max
+	return best, maxT
 }
 
-// dense is a small dense linear system solver (Gaussian elimination with
-// partial pivoting). The thermal network has ~13 nodes, so dense is both
-// simplest and fastest.
+// lu is an LU factorization with partial pivoting of a dense row-major
+// matrix: unit-lower multipliers below the diagonal, U on and above it.
+// The thermal systems are factorized once and solved millions of times,
+// so solveInto is written to be allocation-free.
+type lu struct {
+	n   int
+	a   []float64 // factors, row-major n×n (owns the backing array)
+	piv []int     // piv[k]: row swapped with row k at elimination step k
+}
+
+// factorize computes the factorization of the n×n matrix a in place,
+// taking ownership of a. Reusing a previously factorized receiver reuses
+// its pivot storage.
+func (f *lu) factorize(n int, a []float64) error {
+	f.n = n
+	f.a = a
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	}
+	f.piv = f.piv[:n]
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest remaining entry in this column.
+		p := col
+		pmax := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > pmax {
+				pmax = v
+				p = r
+			}
+		}
+		if pmax == 0 {
+			return fmt.Errorf("thermal: singular conductance matrix")
+		}
+		f.piv[col] = p
+		if p != col {
+			// Swap whole rows; L multipliers travel with their row.
+			for k := 0; k < n; k++ {
+				a[col*n+k], a[p*n+k] = a[p*n+k], a[col*n+k]
+			}
+		}
+		pivInv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			mult := a[r*n+col] * pivInv
+			a[r*n+col] = mult
+			if mult == 0 {
+				continue
+			}
+			for k := col + 1; k < n; k++ {
+				a[r*n+k] -= mult * a[col*n+k]
+			}
+		}
+	}
+	return nil
+}
+
+// solveInto writes A⁻¹·b into x (len n each) with two triangular
+// substitutions. It performs no allocation; b is not modified unless x
+// aliases it.
+func (f *lu) solveInto(x, b []float64) {
+	n := f.n
+	a := f.a
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution against unit-lower L.
+	for r := 1; r < n; r++ {
+		s := x[r]
+		for k := 0; k < r; k++ {
+			s -= a[r*n+k] * x[k]
+		}
+		x[r] = s
+	}
+	// Back substitution against U.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for k := r + 1; k < n; k++ {
+			s -= a[r*n+k] * x[k]
+		}
+		x[r] = s / a[r*n+r]
+	}
+}
+
+// dense is the original one-shot Gaussian-elimination solver. The
+// production paths all use the pre-factorized lu; dense is retained as
+// the independent oracle the equivalence tests compare against.
 type dense struct {
 	n int
 	a []float64 // row-major n x n

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and snapshot the numbers as a
+# BENCH_<n>.json entry in the repo's perf trajectory (repo root).
+#
+#   scripts/bench.sh              # auto-numbered: one past the highest BENCH_<n>.json
+#   scripts/bench.sh 2            # explicit index -> BENCH_2.json
+#   scripts/bench.sh ci           # CI snapshot   -> BENCH_ci.json (not part of the trajectory)
+#   BENCH_PATTERN='Thermal|Figure2' scripts/bench.sh   # restrict to a subset
+#
+# Each snapshot records go/OS/CPU metadata, the commit, and every
+# benchmark's iterations and metrics (ns/op, B/op, allocs/op, plus any
+# b.ReportMetric series), so successive PRs can diff perf without
+# re-running old commits.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+index="${1:-}"
+if [ -z "${index}" ]; then
+	index=0
+	for f in BENCH_*.json; do
+		[ -e "${f}" ] || continue
+		i="${f#BENCH_}"
+		i="${i%.json}"
+		case "${i}" in *[!0-9]*) continue ;; esac
+		if [ "${i}" -ge "${index}" ]; then index=$((i + 1)); fi
+	done
+fi
+out="BENCH_${index}.json"
+pattern="${BENCH_PATTERN:-.}"
+
+raw="$(mktemp)"
+trap 'rm -f "${raw}"' EXIT
+go test -run '^$' -bench "${pattern}" -benchmem -count 1 . | tee "${raw}"
+
+{
+	printf '{\n'
+	printf '  "schema": 1,\n'
+	printf '  "index": "%s",\n' "${index}"
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	awk '
+		/^goos:/ { goos = $2 }
+		/^goarch:/ { goarch = $2 }
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ && NF >= 4 {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			line = sprintf("    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", name, $2)
+			first = 1
+			for (i = 3; i + 1 <= NF; i += 2) {
+				line = line sprintf("%s\"%s\":%s", (first ? "" : ","), $(i + 1), $i)
+				first = 0
+			}
+			benches[n++] = line "}}"
+		}
+		END {
+			printf "  \"goos\": \"%s\",\n", goos
+			printf "  \"goarch\": \"%s\",\n", goarch
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"benchmarks\": [\n"
+			for (i = 0; i < n; i++) printf "%s%s\n", benches[i], (i + 1 < n ? "," : "")
+			printf "  ]\n"
+		}' "${raw}"
+	printf '}\n'
+} >"${out}"
+echo "wrote ${out}"
