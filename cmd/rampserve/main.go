@@ -1,0 +1,91 @@
+// Command rampserve runs the reliability-evaluation service: the
+// experiment pipeline behind every table and figure, exposed as a
+// long-running HTTP API with a shared result cache, bounded concurrency
+// and graceful shutdown.
+//
+// Examples:
+//
+//	rampserve                       # serve on :8080 with full-length runs
+//	rampserve -addr :9000 -quick    # short simulation runs (tests/demos)
+//
+//	curl localhost:8080/v1/healthz
+//	curl -X POST localhost:8080/v1/evaluate \
+//	     -d '{"app":"twolf","freq_hz":4.5e9,"tqual_k":370}'
+//	curl -X POST localhost:8080/v1/sweep \
+//	     -d '{"app":"bzip2","adaptation":"DVS","tquals_k":[400,370,345]}'
+//	curl localhost:8080/metrics
+//
+// SIGTERM or SIGINT stops accepting new requests, finishes in-flight
+// evaluations (up to -drain), then exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ramp/internal/exp"
+	"ramp/internal/serve"
+)
+
+func main() {
+	cfg := serve.DefaultConfig()
+	var (
+		addr    = flag.String("addr", cfg.Addr, "listen address (host:port; port 0 picks a free port)")
+		quick   = flag.Bool("quick", false, "use short simulation runs")
+		workers = flag.Int("workers", cfg.Workers, "max concurrently running evaluations")
+		queue   = flag.Int("queue", cfg.QueueDepth, "max queued jobs beyond the workers (overflow sheds 429)")
+		timeout = flag.Duration("timeout", cfg.RequestTimeout, "per-request evaluation deadline (0 = none)")
+		drain   = flag.Duration("drain", cfg.DrainTimeout, "graceful-shutdown drain window")
+		step    = flag.Float64("step", cfg.FreqStepHz, "default DVS frequency grid step in Hz for sweeps")
+		pprofOn = flag.Bool("pprof", true, "mount /debug/pprof/ handlers")
+		seed    = flag.Int64("seed", 1, "trace generator seed")
+	)
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	cfg.Addr = *addr
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	cfg.RequestTimeout = *timeout
+	cfg.DrainTimeout = *drain
+	cfg.FreqStepHz = *step
+	cfg.EnablePprof = *pprofOn
+
+	srv := serve.New(exp.NewEnv(opts), cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rampserve:", err)
+		os.Exit(1)
+	}
+	// The smoke test (and any supervisor binding port 0) parses this line.
+	fmt.Printf("rampserve: listening on %s (workers=%d queue=%d timeout=%s)\n",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth, fmtTimeout(cfg.RequestTimeout))
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "rampserve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("rampserve: drained, bye")
+}
+
+func fmtTimeout(d time.Duration) string {
+	if d <= 0 {
+		return "none"
+	}
+	return d.String()
+}

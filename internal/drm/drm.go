@@ -21,6 +21,7 @@
 package drm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -102,6 +103,15 @@ type Sweep struct {
 // app. The qualification used here only fills the initial assessments;
 // Select requalifies against the point of interest.
 func (o *Oracle) Sweep(app trace.Profile, a Adaptation) (*Sweep, error) {
+	return o.SweepCtx(context.Background(), app, a)
+}
+
+// SweepCtx is Sweep with cancellation: once ctx is done, queued
+// candidate evaluations never start and in-flight ones stop at their
+// next epoch boundary (a full ArchDVS sweep is the most expensive
+// request the serve layer accepts, so abandoned sweeps must not burn
+// simulation time).
+func (o *Oracle) SweepCtx(ctx context.Context, app trace.Profile, a Adaptation) (*Sweep, error) {
 	qual := o.Env.Qualification(400) // placeholder; Select requalifies
 	cands := o.Candidates(a)
 	jobs := make([]exp.EvalJob, 0, len(cands)+1)
@@ -109,7 +119,7 @@ func (o *Oracle) Sweep(app trace.Profile, a Adaptation) (*Sweep, error) {
 	for _, c := range cands {
 		jobs = append(jobs, exp.EvalJob{App: app, Proc: c, Qual: qual})
 	}
-	results, err := o.Env.EvaluateAll(jobs)
+	results, err := o.Env.EvaluateAllCtx(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -136,10 +146,16 @@ type Choice struct {
 // tie-breaking towards the earlier candidate) is identical to a fully
 // sequential pass.
 func (s *Sweep) Select(env *exp.Env, qual core.Qualification) (Choice, error) {
+	return s.SelectCtx(context.Background(), env, qual)
+}
+
+// SelectCtx is Select with cancellation; the batched requalification
+// stops picking up candidates once ctx is done.
+func (s *Sweep) SelectCtx(ctx context.Context, env *exp.Env, qual core.Qualification) (Choice, error) {
 	if len(s.Candidates) == 0 {
 		return Choice{}, fmt.Errorf("drm: empty candidate set")
 	}
-	assessments, err := env.RequalifyAll(s.Candidates, qual)
+	assessments, err := env.RequalifyAllCtx(ctx, s.Candidates, qual)
 	if err != nil {
 		return Choice{}, err
 	}
@@ -173,11 +189,28 @@ func (s *Sweep) Select(env *exp.Env, qual core.Qualification) (Choice, error) {
 
 // Best runs a full sweep and selects for one qualification point.
 func (o *Oracle) Best(app trace.Profile, a Adaptation, qual core.Qualification) (Choice, error) {
-	s, err := o.Sweep(app, a)
+	return o.BestCtx(context.Background(), app, a, qual)
+}
+
+// BestCtx is Best with cancellation across both the sweep and the
+// selection.
+func (o *Oracle) BestCtx(ctx context.Context, app trace.Profile, a Adaptation, qual core.Qualification) (Choice, error) {
+	s, err := o.SweepCtx(ctx, app, a)
 	if err != nil {
 		return Choice{}, err
 	}
-	return s.Select(o.Env, qual)
+	return s.SelectCtx(ctx, o.Env, qual)
+}
+
+// AdaptationByName parses a paper adaptation-space name ("Arch", "DVS",
+// "ArchDVS"; used by the serve layer's request validation).
+func AdaptationByName(name string) (Adaptation, error) {
+	for a, n := range adaptationNames {
+		if n == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("drm: unknown adaptation %q (want Arch, DVS or ArchDVS)", name)
 }
 
 // FrequencyChoice returns, for a DVS-only sweep, the frequency the

@@ -11,6 +11,7 @@
 package dtm
 
 import (
+	"context"
 	"fmt"
 
 	"ramp/internal/config"
@@ -50,12 +51,19 @@ type Sweep struct {
 
 // Sweep evaluates the base machine and the full DVS ladder for app.
 func (o *Oracle) Sweep(app trace.Profile) (*Sweep, error) {
+	return o.SweepCtx(context.Background(), app)
+}
+
+// SweepCtx is Sweep with cancellation: once ctx is done, queued ladder
+// evaluations never start and in-flight ones stop at their next epoch
+// boundary.
+func (o *Oracle) SweepCtx(ctx context.Context, app trace.Profile) (*Sweep, error) {
 	qual := o.Env.Qualification(400) // DTM ignores reliability; any point works
 	jobs := []exp.EvalJob{{App: app, Proc: o.Env.Base, Qual: qual}}
 	for _, f := range config.DVSFrequencies(o.FreqStepHz) {
 		jobs = append(jobs, exp.EvalJob{App: app, Proc: o.Env.Base.WithOperatingPoint(f), Qual: qual})
 	}
-	results, err := o.Env.EvaluateAll(jobs)
+	results, err := o.Env.EvaluateAllCtx(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +109,13 @@ func (s *Sweep) Select(tmaxK float64) (Choice, error) {
 
 // Best runs a sweep and selects for one thermal design point.
 func (o *Oracle) Best(app trace.Profile, tmaxK float64) (Choice, error) {
-	s, err := o.Sweep(app)
+	return o.BestCtx(context.Background(), app, tmaxK)
+}
+
+// BestCtx is Best with cancellation (Select itself is a pure in-memory
+// scan; the sweep is the part worth aborting).
+func (o *Oracle) BestCtx(ctx context.Context, app trace.Profile, tmaxK float64) (Choice, error) {
+	s, err := o.SweepCtx(ctx, app)
 	if err != nil {
 		return Choice{}, err
 	}

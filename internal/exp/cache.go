@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -23,39 +25,81 @@ type evalKey struct {
 	opts Options // includes Seed; fixed per Env, kept for content-keying
 }
 
-// cacheEntry memoizes one evaluation. The first Evaluate for a key runs
-// the simulation inside once; concurrent callers for the same key block
-// on once rather than duplicating the work (singleflight). ready flips
-// after once completes so lock-free readers (Requalify's fallback) know
-// res/err are safe to read.
+// cacheEntry memoizes one evaluation. The first Evaluate for a key
+// becomes the leader and runs the simulation; concurrent callers for the
+// same key wait on done rather than duplicating the work (singleflight).
+// Unlike a sync.Once flight, a leader whose context is cancelled does
+// not burn the entry: the cancelled entry is dropped from the map before
+// done closes, so one of the waiters (or a later caller) retakes
+// leadership and the configuration still gets simulated exactly once by
+// a caller that actually wants it. ready flips before done closes so
+// lock-free readers (Requalify's fallback) know res/err are safe.
 type cacheEntry struct {
-	once  sync.Once
-	ready atomic.Bool
-	res   Result             // Epochs retained even under DropEpochRows
-	qual  core.Qualification // qualification res.Assessment was computed for
+	done  chan struct{} // closed when the flight finishes (or is abandoned)
+	ready atomic.Bool   // res/err valid (flight completed, not abandoned)
+	res   Result        // Epochs retained even under DropEpochRows
+	qual  core.Qualification
 	err   error
+}
+
+// CacheStats is a point-in-time snapshot of the evaluation cache's
+// effectiveness counters, exported for the serve layer's /metrics
+// endpoint and for singleflight assertions in tests.
+type CacheStats struct {
+	// Hits counts Evaluate calls served without starting a simulation:
+	// either from a completed entry or by joining an in-flight one.
+	Hits int64
+	// Misses counts Evaluate calls that started a simulation (took
+	// leadership of a flight). With no cancellations, Misses equals the
+	// number of distinct keys evaluated.
+	Misses int64
+	// Entries is the number of distinct keys resident (completed or in
+	// flight).
+	Entries int
 }
 
 // evalCache is the concurrency-safe memo table hanging off an Env. The
 // zero value is ready to use.
 type evalCache struct {
-	mu sync.Mutex
-	m  map[evalKey]*cacheEntry
+	mu     sync.Mutex
+	m      map[evalKey]*cacheEntry
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
-// entry returns the entry for k, creating it if absent.
-func (c *evalCache) entry(k evalKey) *cacheEntry {
+// acquire returns the entry for k and whether the caller became the
+// flight's leader. A leader must call either complete or abandon.
+func (c *evalCache) acquire(k evalKey) (e *cacheEntry, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil {
 		c.m = make(map[evalKey]*cacheEntry)
 	}
-	e := c.m[k]
-	if e == nil {
-		e = &cacheEntry{}
-		c.m[k] = e
+	if e = c.m[k]; e != nil {
+		c.hits.Add(1)
+		return e, false
 	}
-	return e
+	e = &cacheEntry{done: make(chan struct{})}
+	c.m[k] = e
+	c.misses.Add(1)
+	return e, true
+}
+
+// complete publishes a leader's finished flight.
+func (c *evalCache) complete(e *cacheEntry) {
+	e.ready.Store(true)
+	close(e.done)
+}
+
+// abandon drops a cancelled leader's flight so the key can be retried;
+// waiters see done close with ready still false and re-acquire.
+func (c *evalCache) abandon(k evalKey, e *cacheEntry) {
+	c.mu.Lock()
+	if c.m[k] == e {
+		delete(c.m, k)
+	}
+	c.mu.Unlock()
+	close(e.done)
 }
 
 // lookup returns the completed entry for k, or nil if the key is absent
@@ -76,4 +120,19 @@ func (c *evalCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats snapshots the cache counters.
+func (c *evalCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+	}
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline —
+// the class of error that abandons (rather than poisons) a flight.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

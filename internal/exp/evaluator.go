@@ -16,6 +16,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -206,12 +207,48 @@ func (r Result) FIT() float64 { return r.Assessment.TotalFIT }
 // their epoch-row backing array; callers must treat Epochs as
 // read-only.
 func (e *Env) Evaluate(app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
-	ent := e.cache.entry(e.keyFor(app.Name, proc))
-	ent.once.Do(func() {
-		ent.res, ent.err = e.evaluate(app, proc, qual)
-		ent.qual = qual
-		ent.ready.Store(true)
-	})
+	return e.EvaluateCtx(context.Background(), app, proc, qual)
+}
+
+// EvaluateCtx is Evaluate with cancellation: the simulation checks ctx
+// at every epoch boundary, so an abandoned caller (a closed HTTP
+// request, an expired deadline) stops burning simulation time within
+// one epoch. A cancelled flight never poisons the cache — the entry is
+// dropped and the next caller for the same key simulates afresh; a
+// waiter that joined a flight whose leader was cancelled retakes
+// leadership itself.
+func (e *Env) EvaluateCtx(ctx context.Context, app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
+	key := e.keyFor(app.Name, proc)
+	var ent *cacheEntry
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		var leader bool
+		ent, leader = e.cache.acquire(key)
+		if leader {
+			ent.res, ent.err = e.evaluate(ctx, app, proc, qual)
+			ent.qual = qual
+			if ent.err != nil && isCtxErr(ent.err) {
+				e.cache.abandon(key, ent)
+				return Result{}, ent.err
+			}
+			e.cache.complete(ent)
+			break
+		}
+		select {
+		case <-ent.done:
+			if ent.ready.Load() {
+				// Completed flight (success or a real error).
+			} else {
+				// The leader was cancelled; retry (possibly as leader).
+				continue
+			}
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		break
+	}
 	if ent.err != nil {
 		return Result{}, ent.err
 	}
@@ -243,8 +280,14 @@ func (e *Env) keyFor(app string, proc config.Proc) evalKey {
 // been simulated (diagnostic).
 func (e *Env) CachedEvaluations() int { return e.cache.Len() }
 
-// evaluate is the uncached evaluation pipeline.
-func (e *Env) evaluate(app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
+// CacheStats snapshots the evaluation cache's hit/miss/entry counters
+// (consumed by the rampserve /metrics endpoint and by singleflight
+// assertions in tests).
+func (e *Env) CacheStats() CacheStats { return e.cache.Stats() }
+
+// evaluate is the uncached evaluation pipeline. ctx is checked at every
+// epoch boundary of both the timing simulation and the thermal passes.
+func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
 	gen, err := trace.NewGenerator(app, e.Opts.Seed)
 	if err != nil {
 		return Result{}, err
@@ -253,11 +296,17 @@ func (e *Env) evaluate(app trace.Profile, proc config.Proc, qual core.Qualificat
 	if err != nil {
 		return Result{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if e.Opts.WarmupInstrs > 0 {
 		c.Run(e.Opts.WarmupInstrs)
 	}
 	epochs := make([]EpochRow, e.Opts.Epochs)
 	for i := range epochs {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		epochs[i].Sim = c.Run(e.Opts.EpochInstrs)
 	}
 
@@ -270,6 +319,9 @@ func (e *Env) evaluate(app trace.Profile, proc config.Proc, qual core.Qualificat
 	for pass := 0; pass < max(1, e.Opts.SinkPasses); pass++ {
 		var wSum, tSum float64
 		for i := range epochs {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 			row := &epochs[i]
 			row.TempK, row.PowerW = e.epochFixedPoint(row.Sim.Activity, on, proc, sinkK)
 			row.TotalW = row.PowerW.Sum()
@@ -423,9 +475,33 @@ func (e *Env) Requalify(r Result, qual core.Qualification) (core.Assessment, err
 // pool as EvaluateAll; a Select over a full ArchDVS sweep re-assesses
 // hundreds of candidates per T_qual and this is its hot loop.
 func (e *Env) RequalifyAll(results []Result, qual core.Qualification) ([]core.Assessment, error) {
+	return e.RequalifyAllCtx(context.Background(), results, qual)
+}
+
+// RequalifyAllCtx is RequalifyAll with cancellation: workers stop
+// picking up candidates once ctx is done and the batch returns ctx's
+// error instead of partial assessments.
+func (e *Env) RequalifyAllCtx(ctx context.Context, results []Result, qual core.Qualification) ([]core.Assessment, error) {
 	assessments := make([]core.Assessment, len(results))
 	errs := make([]error, len(results))
-	workers := min(len(results), max(1, runtime.GOMAXPROCS(0)))
+	run := func(i int) { assessments[i], errs[i] = e.Requalify(results[i], qual) }
+	if err := runPool(ctx, len(results), run); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: requalify %d (%s/%s): %w", i, results[i].App, results[i].Proc.Name, err)
+		}
+	}
+	return assessments, nil
+}
+
+// runPool drains n indexed jobs through a bounded worker pool — never
+// more goroutines than can run — stopping early (without waiting for
+// unstarted jobs) when ctx is cancelled. It returns ctx's error if the
+// pool shut down early, nil once every job has run.
+func runPool(ctx context.Context, n int, run func(i int)) error {
+	workers := min(n, max(1, runtime.GOMAXPROCS(0)))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -433,21 +509,29 @@ func (e *Env) RequalifyAll(results []Result, qual core.Qualification) ([]core.As
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				assessments[i], errs[i] = e.Requalify(results[i], qual)
+				if ctx.Err() != nil {
+					return
+				}
+				run(i)
 			}
 		}()
 	}
-	for i := range results {
-		idx <- i
+	var err error
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("exp: requalify %d (%s/%s): %w", i, results[i].App, results[i].Proc.Name, err)
-		}
+	if err == nil {
+		err = ctx.Err()
 	}
-	return assessments, nil
+	return err
 }
 
 // EvalJob names one (application, processor, qualification) evaluation.
@@ -463,25 +547,19 @@ type EvalJob struct {
 // queues thousands of jobs without spawning thousands of blocked
 // goroutines. The first error (in job order) aborts the batch.
 func (e *Env) EvaluateAll(jobs []EvalJob) ([]Result, error) {
+	return e.EvaluateAllCtx(context.Background(), jobs)
+}
+
+// EvaluateAllCtx is EvaluateAll with cancellation: unstarted jobs are
+// never picked up once ctx is done, in-flight simulations stop at their
+// next epoch boundary, and the batch returns ctx's error.
+func (e *Env) EvaluateAllCtx(ctx context.Context, jobs []EvalJob) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
-	workers := min(len(jobs), max(1, runtime.GOMAXPROCS(0)))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i], errs[i] = e.Evaluate(jobs[i].App, jobs[i].Proc, jobs[i].Qual)
-			}
-		}()
+	run := func(i int) { results[i], errs[i] = e.EvaluateCtx(ctx, jobs[i].App, jobs[i].Proc, jobs[i].Qual) }
+	if err := runPool(ctx, len(jobs), run); err != nil {
+		return nil, err
 	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("exp: job %d (%s/%s): %w", i, jobs[i].App.Name, jobs[i].Proc.Name, err)

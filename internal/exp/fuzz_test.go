@@ -1,0 +1,80 @@
+package exp
+
+// Fuzz coverage for the evaluation-cache key: key equality must hold
+// exactly when two (application, configuration) pairs are semantically
+// identical — i.e. same app and same Proc after clearing the cosmetic
+// Name field. A false merge would return one configuration's reliability
+// numbers for another; a false split would silently duplicate
+// simulations and break the serve layer's singleflight guarantee.
+//
+//	go test -fuzz FuzzCacheKey -fuzztime 30s ./internal/exp/
+import (
+	"testing"
+
+	"ramp/internal/config"
+)
+
+// fuzzProc perturbs the base processor along the same axes the Arch/DVS
+// adaptation space explores, plus the cosmetic Name.
+func fuzzProc(name string, freqCode uint8, window uint8, alus, fpus uint8) config.Proc {
+	p := config.Base()
+	p.Name = name
+	// Frequency on the DVS grid shape: 2.5 + k*0.125 GHz.
+	p.FreqHz = 2.5e9 + float64(freqCode%21)*0.125e9
+	p.VddV = config.VoltageForFreq(p.FreqHz)
+	p.WindowSize = 16 * (1 + int(window%8)) // 16..128
+	p.IntRegs = p.WindowSize + p.WindowSize/2
+	p.FPRegs = p.IntRegs
+	p.IntALUs = 1 + int(alus%6)
+	p.FPUs = 1 + int(fpus%4)
+	return p
+}
+
+func FuzzCacheKey(f *testing.F) {
+	f.Add("twolf", "base", "w128", uint8(12), uint8(7), uint8(5), uint8(3), uint8(12), uint8(7), uint8(5), uint8(3))
+	f.Add("twolf", "twolf", "", uint8(0), uint8(0), uint8(0), uint8(0), uint8(20), uint8(3), uint8(1), uint8(0))
+	f.Add("gzip", "a", "b", uint8(4), uint8(2), uint8(2), uint8(1), uint8(4), uint8(2), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, app1, name1, name2 string,
+		freq1, win1, alu1, fpu1 uint8,
+		freq2, win2, alu2, fpu2 uint8) {
+
+		env := NewEnv(QuickOptions())
+		p1 := fuzzProc(name1, freq1, win1, alu1, fpu1)
+		p2 := fuzzProc(name2, freq2, win2, alu2, fpu2)
+
+		k1 := env.keyFor(app1, p1)
+		k2 := env.keyFor(app1, p2)
+
+		p1.Name, p2.Name = "", ""
+		semEqual := p1 == p2
+		if (k1 == k2) != semEqual {
+			t.Fatalf("key equality %v but semantic equality %v\np1=%+v\np2=%+v",
+				k1 == k2, semEqual, p1, p2)
+		}
+
+		// Name must never influence the key: the base machine and the
+		// identically-configured sweep point must memoize together.
+		renamed := p1
+		renamed.Name = name2 + "-renamed"
+		if env.keyFor(app1, p1) != env.keyFor(app1, renamed) {
+			t.Fatal("cosmetic Name change altered the cache key")
+		}
+
+		// Distinct applications must never share a key, even on identical
+		// hardware.
+		if app1 != app1+"x" {
+			if env.keyFor(app1, p1) == env.keyFor(app1+"x", p1) {
+				t.Fatal("distinct apps share a cache key")
+			}
+		}
+
+		// Options are part of the key: the same point evaluated under
+		// different run lengths or seeds is a different simulation.
+		longer := QuickOptions()
+		longer.Seed++
+		env2 := NewEnv(longer)
+		if env.keyFor(app1, p1) == env2.keyFor(app1, p1) {
+			t.Fatal("different seeds share a cache key")
+		}
+	})
+}

@@ -9,9 +9,11 @@ package profiling
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
-	"runtime/pprof"
+	runtimepprof "runtime/pprof"
 )
 
 // Config holds the profile destinations parsed from the command line.
@@ -40,14 +42,14 @@ func (c *Config) Start() (stop func() error, err error) {
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
-		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		if err := runtimepprof.StartCPUProfile(cpuFile); err != nil {
 			_ = cpuFile.Close() // the start error is the one worth reporting
 			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
 		}
 	}
 	return func() error {
 		if cpuFile != nil {
-			pprof.StopCPUProfile()
+			runtimepprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return fmt.Errorf("profiling: close CPU profile: %w", err)
 			}
@@ -59,7 +61,7 @@ func (c *Config) Start() (stop func() error, err error) {
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live data
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := runtimepprof.WriteHeapProfile(f); err != nil {
 				return fmt.Errorf("profiling: write heap profile: %w", err)
 			}
 		}
@@ -79,4 +81,17 @@ func (c *Config) MustStart() (stop func()) {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
+}
+
+// RegisterHTTP mounts the net/http/pprof handlers under /debug/pprof/
+// on mux, for resident processes (rampserve) where file-based
+// -cpuprofile capture does not fit: profiles are pulled on demand with
+// `go tool pprof http://host/debug/pprof/profile` while the service
+// keeps serving.
+func RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// counts observations with latency < 2^i microseconds; the last bucket
+// is a catch-all (2^21 µs ≈ 2.1 s and beyond land there), wide enough
+// for a full-length ArchDVS sweep.
+const histBuckets = 22
+
+// histogram is a lock-free log2-scaled latency histogram (microsecond
+// resolution). Writers only atomically increment; readers snapshot.
+type histogram struct {
+	count  atomic.Int64
+	sumUS  atomic.Int64
+	bucket [histBuckets]atomic.Int64
+}
+
+// observe records one latency sample.
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	i := 0
+	for b := us; b > 0 && i < histBuckets-1; b >>= 1 {
+		i++
+	}
+	h.bucket[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// histSnapshot is the JSON form of one histogram: cumulative counts per
+// upper bound, expvar-style flat keys.
+type histSnapshot struct {
+	Count   int64            `json:"count"`
+	SumUS   int64            `json:"sum_us"`
+	Buckets map[string]int64 `json:"buckets_le_us,omitempty"`
+}
+
+func (h *histogram) snapshot() histSnapshot {
+	s := histSnapshot{Count: h.count.Load(), SumUS: h.sumUS.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Buckets = make(map[string]int64)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.bucket[i].Load()
+		if cum == 0 {
+			continue
+		}
+		le := "+inf"
+		if i < histBuckets-1 {
+			le = strconv.FormatInt(1<<i, 10)
+		}
+		s.Buckets[le] = cum
+	}
+	return s
+}
+
+// metrics is the server's expvar-style counter set, published as one
+// JSON document at GET /metrics. All fields are atomics; there is no
+// global expvar registration, so independent Servers (tests) never
+// collide.
+type metrics struct {
+	start time.Time
+
+	requestsEvaluate atomic.Int64
+	requestsSweep    atomic.Int64
+	requestsHealthz  atomic.Int64
+	requestsMetrics  atomic.Int64
+
+	responses2xx atomic.Int64
+	responses4xx atomic.Int64
+	responses5xx atomic.Int64
+	shed         atomic.Int64 // queue-full 429s (subset of responses4xx)
+	timeouts     atomic.Int64 // deadline-exceeded 504s (subset of responses5xx)
+
+	inflight atomic.Int64 // jobs currently holding a worker slot
+	queued   atomic.Int64 // jobs admitted but waiting for a slot
+
+	latQueueWait histogram // admission → worker slot acquired
+	latEvaluate  histogram // /v1/evaluate compute time
+	latSweep     histogram // /v1/sweep compute time (sweep + all selects)
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+func (m *metrics) countResponse(status int) {
+	switch {
+	case status >= 500:
+		m.responses5xx.Add(1)
+	case status >= 400:
+		m.responses4xx.Add(1)
+	default:
+		m.responses2xx.Add(1)
+	}
+}
+
+// cacheCounters is the slice of exp.CacheStats surfaced in /metrics.
+type cacheCounters struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// metricsSnapshot is the /metrics JSON document. Names are stable API:
+// DESIGN.md §8 documents them.
+type metricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	RequestsTotal map[string]int64 `json:"requests_total"`
+	Responses     map[string]int64 `json:"responses_total"`
+	ShedTotal     int64            `json:"shed_total"`
+	TimeoutTotal  int64            `json:"timeout_total"`
+
+	InflightJobs int64 `json:"inflight_jobs"`
+	QueuedJobs   int64 `json:"queued_jobs"`
+
+	Cache cacheCounters `json:"cache"`
+
+	LatencyUS map[string]histSnapshot `json:"latency_us"`
+}
+
+func (s *Server) snapshotMetrics() metricsSnapshot {
+	m := s.metrics
+	cs := s.env.CacheStats()
+	return metricsSnapshot{
+		UptimeSec: time.Since(m.start).Seconds(),
+		RequestsTotal: map[string]int64{
+			"evaluate": m.requestsEvaluate.Load(),
+			"sweep":    m.requestsSweep.Load(),
+			"healthz":  m.requestsHealthz.Load(),
+			"metrics":  m.requestsMetrics.Load(),
+		},
+		Responses: map[string]int64{
+			"2xx": m.responses2xx.Load(),
+			"4xx": m.responses4xx.Load(),
+			"5xx": m.responses5xx.Load(),
+		},
+		ShedTotal:    m.shed.Load(),
+		TimeoutTotal: m.timeouts.Load(),
+		InflightJobs: m.inflight.Load(),
+		QueuedJobs:   m.queued.Load(),
+		Cache:        cacheCounters{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		LatencyUS: map[string]histSnapshot{
+			"queue_wait": m.latQueueWait.snapshot(),
+			"evaluate":   m.latEvaluate.snapshot(),
+			"sweep":      m.latSweep.snapshot(),
+		},
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsMetrics.Add(1)
+	writeJSON(w, http.StatusOK, s.snapshotMetrics())
+	s.metrics.countResponse(http.StatusOK)
+}

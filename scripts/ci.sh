@@ -2,10 +2,12 @@
 # ci.sh — the repo's single verification entry point.
 #
 # Runs the same lanes as .github/workflows/ci.yml: formatting, vet,
-# build, the full test suite, the rampdebug invariant lane, the race
-# lane (with -short so it stays fast), and the rampvet domain linter.
-# Every lane runs even if an earlier one fails; the exit status is the
-# number of failed lanes.
+# build, the full test suite (including the golden snapshot compare),
+# the rampdebug invariant lane, the race lane (with -short so it stays
+# fast), short fuzz bursts on the trace generator and the cache key, the
+# end-to-end smoke script, and the rampvet domain linter. Every lane
+# runs even if an earlier one fails; the exit status is the number of
+# failed lanes.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -39,6 +41,11 @@ lane "go build" go build ./...
 lane "go test" go test ./...
 lane "go test -tags rampdebug" go test -tags rampdebug ./...
 lane "go test -race (short)" go test -race -short ./internal/...
+# Short fuzz bursts: enough to catch shallow regressions on every push;
+# run `-fuzztime 60s` (or longer) locally when touching these packages.
+lane "fuzz trace" go test -fuzz FuzzTraceGenerator -fuzztime 5s -run '^$' ./internal/trace/
+lane "fuzz cachekey" go test -fuzz FuzzCacheKey -fuzztime 5s -run '^$' ./internal/exp/
+lane "smoke" ./scripts/smoke.sh
 lane "rampvet" go run ./cmd/rampvet ./...
 
 if [ "${failures}" -ne 0 ]; then

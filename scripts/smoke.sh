@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end smoke test of every cmd/ binary.
+#
+# Builds all binaries, checks that each one prints usage and exits 0 on
+# -h, runs a tiny real invocation of each batch tool, and drives the
+# rampserve service over HTTP: healthz, an evaluate request, metrics,
+# then SIGTERM and a clean-drain exit check. Fast by construction
+# (short runs, coarse grids); CI runs it on every push.
+set -eu
+cd "$(dirname "$0")/.."
+
+bindir=$(mktemp -d)
+logdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+	if [ -n "${server_pid}" ] && kill -0 "${server_pid}" 2>/dev/null; then
+		kill -KILL "${server_pid}" 2>/dev/null || true
+	fi
+	rm -rf "${bindir}" "${logdir}"
+}
+trap cleanup EXIT
+
+step() { echo "==> $*"; }
+
+binaries="rampsim ramptables drmexplore drmdtm scaling rampvet rampserve"
+
+step "build all binaries"
+for b in ${binaries}; do
+	go build -o "${bindir}/${b}" "./cmd/${b}"
+done
+
+step "-h prints usage and exits 0"
+for b in ${binaries}; do
+	# flag.Parse exits 2 on -h by default unless the command overrides
+	# Usage; accept 0 or 2 but require usage text on stderr.
+	if "${bindir}/${b}" -h >"${logdir}/${b}.h" 2>&1; then
+		:
+	elif [ $? -ne 2 ]; then
+		echo "FAIL: ${b} -h exited with unexpected status" >&2
+		exit 1
+	fi
+	grep -qi "usage" "${logdir}/${b}.h" || {
+		echo "FAIL: ${b} -h printed no usage text" >&2
+		cat "${logdir}/${b}.h" >&2
+		exit 1
+	}
+done
+
+step "rampsim: single short evaluation"
+"${bindir}/rampsim" -app twolf -warmup 20000 -epochs 3 -epoch-instrs 50000 >"${logdir}/rampsim.out"
+grep -q "FIT" "${logdir}/rampsim.out"
+
+step "ramptables: Table 1 (configuration only, no simulation)"
+"${bindir}/ramptables" -quick -table 1 >"${logdir}/ramptables.out"
+grep -q "Table 1" "${logdir}/ramptables.out"
+
+step "drmexplore: Figure 3, one app, coarse grid"
+"${bindir}/drmexplore" -quick -figure 3 -app bzip2 -step 1.25e9 >"${logdir}/drmexplore.out"
+grep -q "Figure 3" "${logdir}/drmexplore.out"
+
+step "drmdtm: Figure 4, one app, coarse grid"
+"${bindir}/drmdtm" -quick -apps twolf -step 1.25e9 >"${logdir}/drmdtm.out"
+grep -q "Figure 4" "${logdir}/drmdtm.out"
+
+step "scaling: quick technology-scaling sweep"
+"${bindir}/scaling" -quick >"${logdir}/scaling.out"
+grep -q "nm" "${logdir}/scaling.out"
+
+step "rampvet: lint one package"
+"${bindir}/rampvet" ./internal/core
+
+step "rampserve: serve, evaluate over HTTP, drain on SIGTERM"
+"${bindir}/rampserve" -addr 127.0.0.1:0 -quick >"${logdir}/rampserve.out" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^rampserve: listening on \([^ ]*\).*/\1/p' "${logdir}/rampserve.out")
+	[ -n "${addr}" ] && break
+	kill -0 "${server_pid}" 2>/dev/null || {
+		echo "FAIL: rampserve died on startup" >&2
+		cat "${logdir}/rampserve.out" >&2
+		exit 1
+	}
+	sleep 0.1
+done
+[ -n "${addr}" ] || { echo "FAIL: rampserve never reported its address" >&2; exit 1; }
+
+curl -sSf "http://${addr}/v1/healthz" | grep -q '"ok"'
+curl -sSf -X POST "http://${addr}/v1/evaluate" \
+	-d '{"app":"twolf","freq_hz":4.5e9,"tqual_k":370}' >"${logdir}/evaluate.json"
+grep -q '"fit"' "${logdir}/evaluate.json"
+curl -sSf "http://${addr}/metrics" | grep -q '"requests_total"'
+
+kill -TERM "${server_pid}"
+status=0
+wait "${server_pid}" || status=$?
+server_pid=""
+if [ "${status}" -ne 0 ]; then
+	echo "FAIL: rampserve exited ${status} after SIGTERM" >&2
+	cat "${logdir}/rampserve.out" >&2
+	exit 1
+fi
+grep -q "drained, bye" "${logdir}/rampserve.out"
+
+echo "smoke: all good"
