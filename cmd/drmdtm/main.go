@@ -18,6 +18,7 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/obs"
 	"ramp/internal/profiling"
 	"ramp/internal/trace"
 )
@@ -29,30 +30,35 @@ func main() {
 		step    = flag.Float64("step", 0.125e9, "DVS frequency grid step in Hz")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drmdtm:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
 	defer prof.MustStart()()
 
 	opts := exp.DefaultOptions()
 	if *quick {
 		opts = exp.QuickOptions()
 	}
-	env := exp.NewEnv(opts)
+	env := exp.NewEnv(opts).Instrument(rt.Tracer, rt.Metrics)
 
 	var apps []trace.Profile
 	if *appList != "" {
 		for _, name := range strings.Split(*appList, ",") {
 			a, err := trace.AppByName(strings.TrimSpace(name))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				rt.Fatal("unknown application", err)
 			}
 			apps = append(apps, a)
 		}
 	}
 	rows, err := figures.Figure4(env, apps, *step)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		rt.Fatal("figure 4 failed", err)
 	}
 	figures.WriteFigure4(os.Stdout, rows)
 }

@@ -18,6 +18,7 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/obs"
 	"ramp/internal/profiling"
 	"ramp/internal/trace"
 )
@@ -31,14 +32,21 @@ func main() {
 		step    = flag.Float64("step", 0.125e9, "DVS frequency grid step in Hz")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drmexplore:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
 	defer prof.MustStart()()
 
 	opts := exp.DefaultOptions()
 	if *quick {
 		opts = exp.QuickOptions()
 	}
-	env := exp.NewEnv(opts)
+	env := exp.NewEnv(opts).Instrument(rt.Tracer, rt.Metrics)
 
 	switch *figure {
 	case 2:
@@ -47,16 +55,14 @@ func main() {
 			for _, name := range strings.Split(*appList, ",") {
 				a, err := trace.AppByName(strings.TrimSpace(name))
 				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					rt.Fatal("unknown application", err)
 				}
 				apps = append(apps, a)
 			}
 		}
 		rows, err := figures.Figure2(env, apps, *step)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			rt.Fatal("figure 2 failed", err)
 		}
 		figures.WriteFigure2(os.Stdout, rows)
 		fmt.Println("\nChosen configurations:")
@@ -70,17 +76,14 @@ func main() {
 	case 3:
 		app, err := trace.AppByName(*appName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			rt.Fatal("unknown application", err)
 		}
 		rows, err := figures.Figure3(env, app, *step)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			rt.Fatal("figure 3 failed", err)
 		}
 		figures.WriteFigure3(os.Stdout, app.Name, rows)
 	default:
-		fmt.Fprintf(os.Stderr, "drmexplore: unknown figure %d (want 2 or 3)\n", *figure)
-		os.Exit(1)
+		rt.Fatal("unknown figure", fmt.Errorf("figure %d (want 2 or 3)", *figure))
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"ramp/internal/exp"
+	"ramp/internal/obs"
 	"ramp/internal/serve"
 )
 
@@ -46,7 +47,14 @@ func main() {
 		pprofOn = flag.Bool("pprof", true, "mount /debug/pprof/ handlers")
 		seed    = flag.Int64("seed", 1, "trace generator seed")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rampserve:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
 
 	opts := exp.DefaultOptions()
 	if *quick {
@@ -61,24 +69,24 @@ func main() {
 	cfg.DrainTimeout = *drain
 	cfg.FreqStepHz = *step
 	cfg.EnablePprof = *pprofOn
+	cfg.Log = rt.Log
 
-	srv := serve.New(exp.NewEnv(opts), cfg)
+	env := exp.NewEnv(opts).Instrument(rt.Tracer, rt.Metrics)
+	srv := serve.New(env, cfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rampserve:", err)
-		os.Exit(1)
+		rt.Fatal("listen failed", err)
 	}
 	// The smoke test (and any supervisor binding port 0) parses this line.
 	fmt.Printf("rampserve: listening on %s (workers=%d queue=%d timeout=%s)\n",
 		ln.Addr(), cfg.Workers, cfg.QueueDepth, fmtTimeout(cfg.RequestTimeout))
 
 	if err := srv.Serve(ctx, ln); err != nil {
-		fmt.Fprintln(os.Stderr, "rampserve:", err)
-		os.Exit(1)
+		rt.Fatal("serve failed", err)
 	}
 	fmt.Println("rampserve: drained, bye")
 }

@@ -17,6 +17,7 @@ import (
 	"ramp/internal/core"
 	"ramp/internal/exp"
 	"ramp/internal/floorplan"
+	"ramp/internal/obs"
 	"ramp/internal/trace"
 )
 
@@ -34,7 +35,14 @@ func main() {
 		seed    = flag.Int64("seed", 1, "trace generator seed")
 		detail  = flag.Bool("detail", false, "print per-structure FIT and temperature breakdown")
 	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rampsim:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
 
 	opts := exp.DefaultOptions()
 	opts.Seed = *seed
@@ -47,12 +55,11 @@ func main() {
 	if *epochI > 0 {
 		opts.EpochInstrs = *epochI
 	}
-	env := exp.NewEnv(opts)
+	env := exp.NewEnv(opts).Instrument(rt.Tracer, rt.Metrics)
 
 	app, err := trace.AppByName(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		rt.Fatal("unknown application", err)
 	}
 	proc := env.Base
 	if *window > 0 {
@@ -70,8 +77,7 @@ func main() {
 
 	r, err := env.Evaluate(app, proc, env.Qualification(*tqual))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		rt.Fatal("evaluation failed", err)
 	}
 
 	fmt.Printf("app          %s (%s)\n", app.Name, app.Class)

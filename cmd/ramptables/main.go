@@ -7,6 +7,7 @@
 //	ramptables                 # everything
 //	ramptables -table 2        # just Table 2
 //	ramptables -figure 1       # just Figure 1
+//	ramptables -quick -trace t.json -stats   # observability demo
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/obs"
 	"ramp/internal/profiling"
 )
 
@@ -26,14 +28,21 @@ func main() {
 		quick  = flag.Bool("quick", false, "use short simulation runs")
 	)
 	prof := profiling.AddFlags(flag.CommandLine)
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ramptables:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
 	defer prof.MustStart()()
 
 	opts := exp.DefaultOptions()
 	if *quick {
 		opts = exp.QuickOptions()
 	}
-	env := exp.NewEnv(opts)
+	env := exp.NewEnv(opts).Instrument(rt.Tracer, rt.Metrics)
 
 	all := *table == 0 && *figure == 0
 	if all || *table == 1 {
@@ -43,8 +52,7 @@ func main() {
 	if all || *table == 2 {
 		rows, err := figures.Table2(env)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			rt.Fatal("table 2 failed", err)
 		}
 		figures.WriteTable2(os.Stdout, rows)
 		fmt.Println()
@@ -52,8 +60,7 @@ func main() {
 	if all || *figure == 1 {
 		rows, err := figures.Figure1(env)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			rt.Fatal("figure 1 failed", err)
 		}
 		figures.WriteFigure1(os.Stdout, rows)
 	}

@@ -8,6 +8,7 @@
 //	expguard    unguarded temperature denominators in math.Exp
 //	seeddet     non-deterministic RNG construction outside tests
 //	errdrop     statement-position calls silently dropping errors
+//	obsguard    raw fmt.Fprint*(os.Stderr, ...) in internal packages
 //
 // Usage:
 //
@@ -29,16 +30,24 @@ import (
 	"strings"
 
 	"ramp/internal/lint"
+	"ramp/internal/obs"
 )
 
 func main() {
 	listFlag := flag.Bool("list", false, "list available analyzers and exit")
 	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rampvet [flags] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rampvet:", err)
+		os.Exit(2)
+	}
+	defer rt.CloseOrLog()
 
 	if *listFlag {
 		for _, a := range lint.All() {
@@ -49,7 +58,6 @@ func main() {
 
 	analyzers := lint.All()
 	if *analyzersFlag != "" {
-		var err error
 		analyzers, err = lint.ByName(strings.Split(*analyzersFlag, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

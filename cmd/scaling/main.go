@@ -12,20 +12,27 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use short simulation runs")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
 
 	opts := exp.DefaultOptions()
 	if *quick {
 		opts = exp.QuickOptions()
 	}
-	rows, err := figures.ScalingStudy(opts)
+	rows, err := figures.ScalingStudyObs(opts, rt.Tracer, rt.Metrics)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		rt.Fatal("scaling study failed", err)
 	}
 	figures.WriteScaling(os.Stdout, rows)
 }

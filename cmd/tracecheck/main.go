@@ -1,0 +1,53 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced
+// by the -trace flag of the RAMP binaries (or by hand): it checks the
+// schema (known phases, non-empty names, non-negative timestamps and
+// durations), file-order timestamp monotonicity, B/E bracket matching
+// and X-event nesting per (pid, tid) track — the invariants Perfetto
+// and chrome://tracing rely on to render a trace sensibly.
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+//
+// Exits 0 when every file validates, 1 otherwise — scripts/ci.sh's
+// observability lane runs it on a freshly captured trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ramp/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracecheck trace.json [more.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			failed = true
+			continue
+		}
+		n, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("tracecheck: %s: ok (%d events)\n", path, n)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package ramp_test
+
+// Observability golden suite: the instrumentation contract is that
+// tracing, metrics and logging observe the pipeline without perturbing
+// it. This file proves it at the strongest granularity available — the
+// checked-in golden snapshots: every snapshot rendered through a fully
+// instrumented environment (tracer + registry + debug logger) must be
+// byte-identical to the plain render, while the captured trace
+// validates against the Chrome trace_event schema and the registry
+// shows the run actually was observed.
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ramp/internal/exp"
+	"ramp/internal/obs"
+)
+
+func TestGoldenInstrumentedIdentical(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("results", "golden", tc.file)
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestGolden -update ./...` first)", err)
+			}
+
+			tr := obs.NewTracer()
+			reg := obs.NewRegistry()
+			env := exp.NewEnv(exp.QuickOptions()).Instrument(tr, reg)
+			var buf bytes.Buffer
+			if err := tc.render(env, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("instrumented render of %s differs from golden snapshot:\n%s",
+					path, diffFirstLine(want, buf.Bytes()))
+			}
+
+			// The observation side must be non-trivial and well-formed.
+			if tr.Len() == 0 {
+				t.Fatal("instrumented render recorded no spans")
+			}
+			var traceJSON bytes.Buffer
+			if err := tr.WriteChromeTrace(&traceJSON); err != nil {
+				t.Fatal(err)
+			}
+			n, err := obs.ValidateChromeTrace(traceJSON.Bytes())
+			if err != nil {
+				t.Errorf("captured trace invalid: %v", err)
+			}
+			if n < tr.Len() {
+				t.Errorf("trace export lost events: %d exported < %d recorded", n, tr.Len())
+			}
+
+			if reg.Counter(exp.MetricEvaluations).Value() == 0 {
+				t.Error("registry recorded no evaluations")
+			}
+			if reg.Counter(exp.MetricEpochs).Value() == 0 {
+				t.Error("registry recorded no epochs")
+			}
+			var summary strings.Builder
+			reg.WriteSummary(&summary)
+			for _, name := range []string{exp.MetricEpochs, exp.MetricThermalSolves, "core_fit_compute_ns_em"} {
+				if !strings.Contains(summary.String(), name) {
+					t.Errorf("-stats summary missing %s:\n%s", name, summary.String())
+				}
+			}
+		})
+	}
+}

@@ -32,8 +32,11 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden files under re
 const goldenFreqStepHz = 0.5e9
 
 type goldenCase struct {
-	file   string
-	render func(*bytes.Buffer) error
+	file string
+	// render writes one snapshot into buf using env (a fresh
+	// QuickOptions env per render; the obs golden suite passes an
+	// instrumented one to prove observation changes no output byte).
+	render func(*exp.Env, *bytes.Buffer) error
 }
 
 func goldenCases() []goldenCase {
@@ -46,8 +49,7 @@ func goldenCases() []goldenCase {
 // renderTablesQuick is the quick-mode equivalent of `ramptables -quick`:
 // Table 1 (configuration), Table 2 (workload characterisation) and
 // Figure 1 (the motivating FIT staircase).
-func renderTablesQuick(buf *bytes.Buffer) error {
-	env := exp.NewEnv(exp.QuickOptions())
+func renderTablesQuick(env *exp.Env, buf *bytes.Buffer) error {
 	figures.NewTable1(env).Write(buf)
 	buf.WriteByte('\n')
 	t2, err := figures.Table2(env)
@@ -66,8 +68,7 @@ func renderTablesQuick(buf *bytes.Buffer) error {
 
 // renderFigure3Quick is the quick-mode equivalent of drmexplore's
 // Figure 3 lane: Arch vs DVS vs ArchDVS for bzip2 on a coarse DVS grid.
-func renderFigure3Quick(buf *bytes.Buffer) error {
-	env := exp.NewEnv(exp.QuickOptions())
+func renderFigure3Quick(env *exp.Env, buf *bytes.Buffer) error {
 	app := trace.Bzip2()
 	rows, err := figures.Figure3(env, app, goldenFreqStepHz)
 	if err != nil {
@@ -81,7 +82,7 @@ func TestGolden(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.file, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := tc.render(&buf); err != nil {
+			if err := tc.render(exp.NewEnv(exp.QuickOptions()), &buf); err != nil {
 				t.Fatal(err)
 			}
 			path := filepath.Join("results", "golden", tc.file)
@@ -118,10 +119,10 @@ func TestGoldenDeterministic(t *testing.T) {
 	for _, tc := range goldenCases() {
 		t.Run(tc.file, func(t *testing.T) {
 			var a, b bytes.Buffer
-			if err := tc.render(&a); err != nil {
+			if err := tc.render(exp.NewEnv(exp.QuickOptions()), &a); err != nil {
 				t.Fatal(err)
 			}
-			if err := tc.render(&b); err != nil {
+			if err := tc.render(exp.NewEnv(exp.QuickOptions()), &b); err != nil {
 				t.Fatal(err)
 			}
 			if !bytes.Equal(a.Bytes(), b.Bytes()) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ramp/internal/check"
 	"ramp/internal/floorplan"
@@ -27,6 +28,7 @@ type Interval struct {
 type Engine struct {
 	params Params
 	budget *Budget
+	timers *FITTimers // per-mechanism timing, nil = untimed fast path
 
 	timeSum float64
 	fitSum  [floorplan.NumStructures][3]float64 // EM, SM, TDDB time-weighted
@@ -77,6 +79,18 @@ func (e *Engine) Observe(iv Interval) error {
 		check.TempK("core.Engine.Observe", c.TempK)
 		check.Probability("core.Engine.Observe.Activity", c.Activity)
 		check.Probability("core.Engine.Observe.OnFraction", c.OnFraction)
+	}
+	if e.timers != nil {
+		// Mechanism-major so each model's evaluation times as one block;
+		// every fitSum slot receives the same additions in the same order
+		// as the loop below, so the sums stay bitwise identical.
+		e.observeTimed(iv, w)
+		e.timeSum += w
+		e.n++
+		return nil
+	}
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		c := iv.Structures[s]
 		e.fitSum[s][EM] += w * e.budget.InstantFIT(e.params, s, EM, c)
 		e.fitSum[s][SM] += w * e.budget.InstantFIT(e.params, s, SM, c)
 		e.fitSum[s][TDDB] += w * e.budget.InstantFIT(e.params, s, TDDB, c)
@@ -91,9 +105,9 @@ func (e *Engine) Observe(iv Interval) error {
 	return nil
 }
 
-// Reset clears all accumulated observations.
+// Reset clears all accumulated observations (timers stay attached).
 func (e *Engine) Reset() {
-	*e = Engine{params: e.params, budget: e.budget}
+	*e = Engine{params: e.params, budget: e.budget, timers: e.timers}
 }
 
 // Assessment is the engine's verdict for the observed run.
@@ -145,6 +159,10 @@ func (e *Engine) Assess() (Assessment, error) {
 	a.Intervals = e.n
 	a.TimeSec = e.timeSum
 	a.MaxTempK = e.maxTemp
+	var tcStart time.Time
+	if e.timers != nil {
+		tcStart = time.Now()
+	}
 	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
 		avgT := e.tempSum[s] / e.timeSum
 		a.AvgTempK[s] = avgT
@@ -158,6 +176,11 @@ func (e *Engine) Assess() (Assessment, error) {
 		for m := 0; m < int(NumMechanisms); m++ {
 			a.TotalFIT += a.FIT[s][m]
 		}
+	}
+	if e.timers != nil {
+		// TC is only evaluated here (it needs run-average temperatures);
+		// the divisions sharing the loop are noise next to the model call.
+		e.timers.TC.Add(time.Since(tcStart).Nanoseconds())
 	}
 	if a.TotalFIT > 0 {
 		a.MTTFHours = 1e9 / a.TotalFIT

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"time"
+
+	"ramp/internal/floorplan"
+	"ramp/internal/obs"
+)
+
+// FITTimers accumulates the time spent evaluating each failure
+// mechanism's FIT model, in nanoseconds, across every Observe/Assess on
+// every engine the timers are attached to. The counters answer the
+// profiling question pprof flattens away: of the RAMP arithmetic, how
+// much goes to EM vs SM vs TDDB vs TC?
+type FITTimers struct {
+	EM, SM, TDDB, TC *obs.Counter
+}
+
+// NewFITTimers resolves the per-mechanism timer counters from reg
+// (core_fit_compute_ns_em and friends). A nil registry returns nil
+// timers, which keep engines on the untimed fast path.
+func NewFITTimers(reg *obs.Registry) *FITTimers {
+	if reg == nil {
+		return nil
+	}
+	return &FITTimers{
+		EM:   reg.Counter("core_fit_compute_ns_em"),
+		SM:   reg.Counter("core_fit_compute_ns_sm"),
+		TDDB: reg.Counter("core_fit_compute_ns_tddb"),
+		TC:   reg.Counter("core_fit_compute_ns_tc"),
+	}
+}
+
+// SetTimers attaches per-mechanism FIT timers to the engine. With
+// timers set, Observe runs mechanism-major so each mechanism's model
+// evaluation can be timed as one block; each fitSum slot still receives
+// exactly the same additions in exactly the same order as the untimed
+// structure-major loop, so accumulated sums — and therefore Assess —
+// stay bitwise identical (TestObserveTimedBitwiseIdentical).
+func (e *Engine) SetTimers(t *FITTimers) { e.timers = t }
+
+// observeTimed is Observe's mechanism-major body: one timed pass over
+// all structures per mechanism. Inputs were already validated by
+// Observe.
+func (e *Engine) observeTimed(iv Interval, w float64) {
+	start := time.Now()
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		e.fitSum[s][EM] += w * e.budget.InstantFIT(e.params, s, EM, iv.Structures[s])
+	}
+	t1 := time.Now()
+	e.timers.EM.Add(t1.Sub(start).Nanoseconds())
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		e.fitSum[s][SM] += w * e.budget.InstantFIT(e.params, s, SM, iv.Structures[s])
+	}
+	t2 := time.Now()
+	e.timers.SM.Add(t2.Sub(t1).Nanoseconds())
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		e.fitSum[s][TDDB] += w * e.budget.InstantFIT(e.params, s, TDDB, iv.Structures[s])
+	}
+	e.timers.TDDB.Add(time.Since(t2).Nanoseconds())
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		c := iv.Structures[s]
+		e.tempSum[s] += w * c.TempK
+		e.onSum[s] += w * c.OnFraction
+		if c.TempK > e.maxTemp {
+			e.maxTemp = c.TempK
+		}
+	}
+}

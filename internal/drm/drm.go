@@ -29,7 +29,14 @@ import (
 	"ramp/internal/config"
 	"ramp/internal/core"
 	"ramp/internal/exp"
+	"ramp/internal/obs"
 	"ramp/internal/trace"
+)
+
+// Metric names the DRM oracle registers on an instrumented Env.
+const (
+	MetricSweepPoints = "drm_sweep_points_total" // configurations queued by sweeps
+	MetricSelects     = "drm_selects_total"      // qualification-point selections
 )
 
 // Adaptation selects a DRM adaptation space.
@@ -114,6 +121,12 @@ func (o *Oracle) Sweep(app trace.Profile, a Adaptation) (*Sweep, error) {
 func (o *Oracle) SweepCtx(ctx context.Context, app trace.Profile, a Adaptation) (*Sweep, error) {
 	qual := o.Env.Qualification(400) // placeholder; Select requalifies
 	cands := o.Candidates(a)
+	ctx, span := o.Env.Trace.Start(ctx, "drm.sweep")
+	if span.Enabled() {
+		span.Annotate(obs.Str("app", app.Name), obs.Str("space", a.String()), obs.Int("points", int64(len(cands)+1)))
+	}
+	defer span.End()
+	o.Env.Metrics.Counter(MetricSweepPoints).Add(int64(len(cands) + 1))
 	jobs := make([]exp.EvalJob, 0, len(cands)+1)
 	jobs = append(jobs, exp.EvalJob{App: app, Proc: o.Env.Base, Qual: qual})
 	for _, c := range cands {
@@ -155,6 +168,12 @@ func (s *Sweep) SelectCtx(ctx context.Context, env *exp.Env, qual core.Qualifica
 	if len(s.Candidates) == 0 {
 		return Choice{}, fmt.Errorf("drm: empty candidate set")
 	}
+	ctx, span := env.Trace.Start(ctx, "drm.select")
+	if span.Enabled() {
+		span.Annotate(obs.Str("app", s.App.Name), obs.Float("tqual_k", qual.TqualK), obs.Int("candidates", int64(len(s.Candidates))))
+	}
+	defer span.End()
+	env.Metrics.Counter(MetricSelects).Inc()
 	assessments, err := env.RequalifyAllCtx(ctx, s.Candidates, qual)
 	if err != nil {
 		return Choice{}, err

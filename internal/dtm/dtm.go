@@ -16,7 +16,14 @@ import (
 
 	"ramp/internal/config"
 	"ramp/internal/exp"
+	"ramp/internal/obs"
 	"ramp/internal/trace"
+)
+
+// Metric names the DTM oracle registers on an instrumented Env.
+const (
+	MetricSweepPoints = "dtm_sweep_points_total" // operating points queued by sweeps
+	MetricSelects     = "dtm_selects_total"      // thermal-design-point selections
 )
 
 // Choice is the DTM controller's decision.
@@ -63,6 +70,12 @@ func (o *Oracle) SweepCtx(ctx context.Context, app trace.Profile) (*Sweep, error
 	for _, f := range config.DVSFrequencies(o.FreqStepHz) {
 		jobs = append(jobs, exp.EvalJob{App: app, Proc: o.Env.Base.WithOperatingPoint(f), Qual: qual})
 	}
+	ctx, span := o.Env.Trace.Start(ctx, "dtm.sweep")
+	if span.Enabled() {
+		span.Annotate(obs.Str("app", app.Name), obs.Int("points", int64(len(jobs))))
+	}
+	defer span.End()
+	o.Env.Metrics.Counter(MetricSweepPoints).Add(int64(len(jobs)))
 	results, err := o.Env.EvaluateAllCtx(ctx, jobs)
 	if err != nil {
 		return nil, err
@@ -119,5 +132,6 @@ func (o *Oracle) BestCtx(ctx context.Context, app trace.Profile, tmaxK float64) 
 	if err != nil {
 		return Choice{}, err
 	}
+	o.Env.Metrics.Counter(MetricSelects).Inc()
 	return s.Select(tmaxK)
 }

@@ -21,10 +21,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"ramp/internal/config"
 	"ramp/internal/core"
 	"ramp/internal/floorplan"
+	"ramp/internal/obs"
 	"ramp/internal/power"
 	"ramp/internal/sim"
 	"ramp/internal/stats"
@@ -108,6 +110,16 @@ type Env struct {
 	Thermal *thermal.Model
 	Params  core.Params
 	Opts    Options
+
+	// Trace and Metrics are the observability hooks installed by
+	// Instrument; both are nil by default, which makes every span and
+	// metric update in the pipeline a nil-check no-op (zero-alloc on the
+	// epoch hot path).
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+
+	obs       expInstruments
+	fitTimers *core.FITTimers
 
 	// cache memoizes evaluations by (app, proc, Options) so sweeps that
 	// revisit a configuration — the base machine inside every adaptation
@@ -227,6 +239,7 @@ func (e *Env) EvaluateCtx(ctx context.Context, app trace.Profile, proc config.Pr
 		var leader bool
 		ent, leader = e.cache.acquire(key)
 		if leader {
+			e.obs.cacheMisses.Inc()
 			ent.res, ent.err = e.evaluate(ctx, app, proc, qual)
 			ent.qual = qual
 			if ent.err != nil && isCtxErr(ent.err) {
@@ -234,12 +247,14 @@ func (e *Env) EvaluateCtx(ctx context.Context, app trace.Profile, proc config.Pr
 				return Result{}, ent.err
 			}
 			e.cache.complete(ent)
+			e.obs.cacheEntries.Set(int64(e.cache.Len()))
 			break
 		}
 		select {
 		case <-ent.done:
 			if ent.ready.Load() {
 				// Completed flight (success or a real error).
+				e.obs.cacheHits.Inc()
 			} else {
 				// The leader was cancelled; retry (possibly as leader).
 				continue
@@ -287,7 +302,16 @@ func (e *Env) CacheStats() CacheStats { return e.cache.Stats() }
 
 // evaluate is the uncached evaluation pipeline. ctx is checked at every
 // epoch boundary of both the timing simulation and the thermal passes.
+// Evaluations run concurrently on the worker pool, so the evaluation
+// span opens a fresh track; everything below it nests on that track.
 func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc, qual core.Qualification) (Result, error) {
+	evalStart := time.Now()
+	ctx, evalSpan := e.Trace.StartTrack(ctx, "exp.evaluate")
+	if evalSpan.Enabled() {
+		evalSpan.Annotate(obs.Str("app", app.Name), obs.Str("proc", proc.Name))
+	}
+	defer evalSpan.End()
+
 	gen, err := trace.NewGenerator(app, e.Opts.Seed)
 	if err != nil {
 		return Result{}, err
@@ -296,18 +320,25 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 	if err != nil {
 		return Result{}, err
 	}
+	c.Instrument(e.obs.simRetired, e.obs.simCycles)
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	if e.Opts.WarmupInstrs > 0 {
+		_, ws := e.Trace.Start(ctx, "sim.warmup")
 		c.Run(e.Opts.WarmupInstrs)
+		ws.End()
 	}
 	epochs := make([]EpochRow, e.Opts.Epochs)
 	for i := range epochs {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		_, es := e.Trace.Start(ctx, "sim.epoch")
+		es.AnnotateInt("epoch", int64(i))
 		epochs[i].Sim = c.Run(e.Opts.EpochInstrs)
+		es.End()
+		e.obs.epochs.Inc()
 	}
 
 	on := power.OnFractions(proc, e.Base)
@@ -317,13 +348,21 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 	sinkK := e.Tech.AmbientK + 30 // initial guess
 	var avgW float64
 	for pass := 0; pass < max(1, e.Opts.SinkPasses); pass++ {
+		passCtx, ps := e.Trace.Start(ctx, "thermal.sinkpass")
+		ps.AnnotateInt("pass", int64(pass))
 		var wSum, tSum float64
 		for i := range epochs {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
 			row := &epochs[i]
-			row.TempK, row.PowerW = e.epochFixedPoint(row.Sim.Activity, on, proc, sinkK)
+			_, fs := e.Trace.Start(passCtx, "exp.fixedpoint")
+			var iters int
+			row.TempK, row.PowerW, iters = e.epochFixedPoint(row.Sim.Activity, on, proc, sinkK)
+			fs.AnnotateInt("epoch", int64(i))
+			fs.AnnotateInt("iters", int64(iters))
+			fs.End()
+			e.obs.fpIters.Observe(int64(iters))
 			row.TotalW = row.PowerW.Sum()
 			_, row.MaxTempK = thermal.MaxBlock(row.TempK)
 			wSum += row.TotalW * row.Sim.TimeSec
@@ -331,13 +370,16 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 		}
 		avgW = wSum / tSum
 		sinkK = e.Thermal.SinkSteadyTemp(avgW)
+		ps.End()
 	}
 
 	// RAMP accumulation.
+	_, as := e.Trace.Start(ctx, "ramp.assess")
 	engine, err := core.NewEngine(e.FP, e.Params, qual)
 	if err != nil {
 		return Result{}, err
 	}
+	engine.SetTimers(e.fitTimers)
 	var res Result
 	res.App = app.Name
 	res.Proc = proc
@@ -379,7 +421,10 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 	if err != nil {
 		return Result{}, err
 	}
+	as.End()
 	res.Epochs = epochs
+	e.obs.evaluations.Inc()
+	e.obs.evalUS.Observe(time.Since(evalStart).Microseconds())
 	return res, nil
 }
 
@@ -389,7 +434,8 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 // temperatures and powers. It is the building block reactive controllers
 // use to evaluate epochs online.
 func (e *Env) EpochConditions(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector) {
-	return e.epochFixedPoint(activity, on, proc, sinkK)
+	temps, pw, _ = e.epochFixedPoint(activity, on, proc, sinkK)
+	return temps, pw
 }
 
 // epochFixedPoint iterates the leakage-temperature feedback for one
@@ -397,23 +443,25 @@ func (e *Env) EpochConditions(activity [floorplan.NumStructures]float64, on powe
 // power determines temperatures. With Options.TolK > 0 the loop exits as
 // soon as the update is converged below the tolerance; LeakageIters is
 // always an upper bound, so the adaptive exit can only skip iterations
-// whose effect would be under TolK.
-func (e *Env) epochFixedPoint(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector) {
+// whose effect would be under TolK. The returned iteration count feeds
+// the exp_fixedpoint_iters histogram and span annotations.
+func (e *Env) epochFixedPoint(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector, iters int) {
 	var act power.Vector
 	copy(act[:], activity[:])
 	temps = power.Uniform(sinkK + 15)
-	iters := max(1, e.Opts.LeakageIters)
+	limit := max(1, e.Opts.LeakageIters)
 	tol := e.Opts.TolK
-	for i := 0; i < iters; i++ {
+	for i := 0; i < limit; i++ {
 		pw = e.Power.Compute(act, on, temps, proc.VddV, proc.FreqHz)
 		next := e.Thermal.QuasiSteady(pw, sinkK)
 		converged := tol > 0 && maxAbsDelta(next, temps) < tol
 		temps = next
+		iters = i + 1
 		if converged {
 			break
 		}
 	}
-	return temps, pw
+	return temps, pw, iters
 }
 
 // maxAbsDelta returns the largest per-component absolute difference.
@@ -448,6 +496,7 @@ func (e *Env) Requalify(r Result, qual core.Qualification) (core.Assessment, err
 	if err != nil {
 		return core.Assessment{}, err
 	}
+	engine.SetTimers(e.fitTimers)
 	on := power.OnFractions(r.Proc, e.Base)
 	for i := range rows {
 		row := &rows[i]

@@ -31,6 +31,7 @@ type Figure2Row struct {
 // applications at T_qual in {400, 370, 345, 325} K.
 // stepHz sets the DVS grid (0 = the oracle default of 0.125 GHz).
 func Figure2(e *exp.Env, apps []trace.Profile, stepHz float64) ([]Figure2Row, error) {
+	defer figSpan(e, "figures.figure2").End()
 	if apps == nil {
 		apps = trace.Apps()
 	}
@@ -95,6 +96,7 @@ type Figure3Row struct {
 // application across qualification temperatures.
 // stepHz sets the DVS grid (0 = the oracle default of 0.125 GHz).
 func Figure3(e *exp.Env, app trace.Profile, stepHz float64) ([]Figure3Row, error) {
+	defer figSpan(e, "figures.figure3").End()
 	oracle := drm.NewOracle(e)
 	if stepHz > 0 {
 		oracle.FreqStepHz = stepHz
@@ -160,6 +162,7 @@ type Figure4Row struct {
 // application. The same DVS sweep feeds both controllers.
 // stepHz sets the DVS grid (0 = the oracle default of 0.125 GHz).
 func Figure4(e *exp.Env, apps []trace.Profile, stepHz float64) ([]Figure4Row, error) {
+	defer figSpan(e, "figures.figure4").End()
 	if apps == nil {
 		apps = trace.Apps()
 	}

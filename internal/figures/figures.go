@@ -6,6 +6,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,8 +15,17 @@ import (
 	"ramp/internal/core"
 	"ramp/internal/exp"
 	"ramp/internal/floorplan"
+	"ramp/internal/obs"
 	"ramp/internal/trace"
 )
+
+// figSpan opens a root span for one figure/table regeneration on the
+// environment's tracer (nil-safe: a disabled span when uninstrumented).
+// Callers defer End on the result, so the span covers the whole driver.
+func figSpan(e *exp.Env, name string) obs.Span {
+	_, s := e.Trace.Start(context.Background(), name)
+	return s
+}
 
 // Figure2TqualsK are the qualification temperatures of Figure 2.
 var Figure2TqualsK = []float64{400, 370, 345, 325}
@@ -87,6 +97,7 @@ type Table2Row struct {
 // Table2 reproduces Table 2: per-application IPC and power (dynamic +
 // leakage) on the base non-adaptive processor.
 func Table2(e *exp.Env) ([]Table2Row, error) {
+	defer figSpan(e, "figures.table2").End()
 	apps := trace.Apps()
 	qual := e.Qualification(400)
 	jobs := make([]exp.EvalJob, len(apps))
@@ -137,6 +148,7 @@ type Figure1Row struct {
 // on the middle one only the cool application does; on the cheap one
 // neither does.
 func Figure1(e *exp.Env) ([]Figure1Row, error) {
+	defer figSpan(e, "figures.figure1").End()
 	apps := []trace.Profile{trace.MP3dec(), trace.Twolf()} // A: hot, B: cool
 	// Three qualification cost points chosen so the paper's staircase
 	// appears: on processor 1 both apps meet the target, on processor 2

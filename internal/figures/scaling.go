@@ -8,11 +8,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"ramp/internal/config"
 	"ramp/internal/exp"
+	"ramp/internal/obs"
 	"ramp/internal/power"
 	"ramp/internal/trace"
 )
@@ -50,8 +52,18 @@ func ScalingApps() []trace.Profile {
 // technology effects: rising power density and leakage, non-scaling
 // voltage.
 func ScalingStudy(opts exp.Options) ([]ScalingRow, error) {
+	return ScalingStudyObs(opts, nil, nil)
+}
+
+// ScalingStudyObs is ScalingStudy with observability: the study builds
+// one environment per technology node internally, so callers cannot
+// pre-instrument an Env — instead the tracer and registry passed here
+// are attached to every per-node environment (nil disables either
+// pillar, making this identical to ScalingStudy).
+func ScalingStudyObs(opts exp.Options, tr *obs.Tracer, reg *obs.Registry) ([]ScalingRow, error) {
 	base65 := config.Base()
 	budget65 := power.DefaultMaxDynamic()
+	ctx := context.Background()
 
 	var rows []ScalingRow
 	for _, node := range config.TechLadder() {
@@ -70,8 +82,10 @@ func ScalingStudy(opts exp.Options) ([]ScalingRow, error) {
 		for i, w := range budget65 {
 			budget[i] = w * node.LinearScale() * vr * vr * fr
 		}
-		env := exp.NewCustomEnv(node.Tech(), node.Proc(), fp, budget, opts)
+		env := exp.NewCustomEnv(node.Tech(), node.Proc(), fp, budget, opts).Instrument(tr, reg)
 		qual := env.Qualification(400)
+		_, nodeSpan := tr.Start(ctx, "figures.scaling.node")
+		nodeSpan.Annotate(obs.Float("node_nm", node.NodeNM))
 
 		row := ScalingRow{
 			NodeNM:  node.NodeNM,
@@ -98,6 +112,7 @@ func ScalingStudy(opts exp.Options) ([]ScalingRow, error) {
 		}
 		instances := (180.0 / node.NodeNM) * (180.0 / node.NodeNM)
 		row.FullDieFIT = row.AvgFIT * instances
+		nodeSpan.End()
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -12,10 +12,11 @@
 //     parses them with build-constraint filtering, and type-checks them
 //     with a stdlib-only importer chain (load.go).
 //   - The domain analyzers (floatcmp.go, unitsafety.go, expguard.go,
-//     seeddet.go, errdrop.go): checks specific to lifetime-reliability
-//     arithmetic — float equality, Celsius-into-Kelvin constants,
-//     unguarded Arrhenius denominators, non-deterministic RNG seeding,
-//     and dropped errors.
+//     seeddet.go, errdrop.go, obsguard.go): checks specific to
+//     lifetime-reliability arithmetic and this repo's conventions —
+//     float equality, Celsius-into-Kelvin constants, unguarded
+//     Arrhenius denominators, non-deterministic RNG seeding, dropped
+//     errors, and raw stderr prints bypassing the structured logger.
 //
 // cmd/rampvet is the command-line driver; analyzer golden tests live in
 // lint_test.go against fixtures under testdata/src.
@@ -85,6 +86,7 @@ func All() []*Analyzer {
 		ExpGuard,
 		SeedDet,
 		ErrDrop,
+		ObsGuard,
 	}
 }
 

@@ -114,6 +114,7 @@ func TestUnitSafety(t *testing.T) { runFixture(t, UnitSafety) }
 func TestExpGuard(t *testing.T)   { runFixture(t, ExpGuard) }
 func TestSeedDet(t *testing.T)    { runFixture(t, SeedDet) }
 func TestErrDrop(t *testing.T)    { runFixture(t, ErrDrop) }
+func TestObsGuard(t *testing.T)   { runFixture(t, ObsGuard) }
 
 // TestByName covers analyzer lookup.
 func TestByName(t *testing.T) {

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsGuard flags raw fmt.Fprint/Fprintf/Fprintln calls writing to
+// os.Stderr inside internal packages.
+//
+// The observability layer (internal/obs) gives every binary a shared
+// structured logger: levelled, machine-parseable, and redirectable.
+// A bare fmt.Fprintf(os.Stderr, ...) bypasses all of that — the line
+// carries no level, no fields, ignores RAMP_LOG/RAMP_LOG_FORMAT, and is
+// invisible to anything consuming the JSON stream. Library code should
+// log through log/slog (obs wires the default logger) or return errors;
+// printing straight to stderr is reserved for package main, where usage
+// and flag errors legitimately bypass logging.
+//
+// The check is path-gated to packages under internal/ so cmd/ mains
+// stay free to print. Deliberate exceptions take a `//rampvet:ignore
+// obsguard` directive with justification.
+var ObsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "flags raw fmt.Fprint*(os.Stderr, ...) in internal packages; diagnostics belong on the structured logger",
+	Run:  runObsGuard,
+}
+
+func runObsGuard(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") && !strings.HasSuffix(path, "/internal") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var fn string
+			for _, name := range []string{"Fprint", "Fprintf", "Fprintln"} {
+				if isPkgFunc(pass.Info, call, "fmt", name) {
+					fn = name
+					break
+				}
+			}
+			if fn == "" || !isOSStderr(pass.Info, call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "fmt.%s to os.Stderr in internal package; log through log/slog (internal/obs) or return an error", fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// isOSStderr reports whether e is the os.Stderr variable (not an
+// arbitrary io.Writer that happens to alias it — only the literal
+// selector defeats the structured logger knowably at compile time).
+func isOSStderr(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stderr" {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && v.Pkg() != nil && v.Pkg().Path() == "os"
+}

@@ -1,0 +1,41 @@
+package obsguard
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Positive cases: raw stderr prints inside an internal package.
+
+func rawPrintf(err error) {
+	fmt.Fprintf(os.Stderr, "warning: %v\n", err) // want `fmt.Fprintf to os.Stderr`
+}
+
+func rawPrintln(err error) {
+	fmt.Fprintln(os.Stderr, err) // want `fmt.Fprintln to os.Stderr`
+}
+
+func rawPrint(msg string) {
+	fmt.Fprint(os.Stderr, msg) // want `fmt.Fprint to os.Stderr`
+}
+
+// Negative cases.
+
+func toWriter(w io.Writer, msg string) {
+	fmt.Fprintf(w, "report: %s\n", msg) // caller-chosen writer: ok
+}
+
+func toStdout(msg string) {
+	fmt.Fprintln(os.Stdout, msg) // results stream, not diagnostics: ok
+}
+
+func structured(err error) {
+	slog.Default().Warn("recoverable", "err", err) // the sanctioned path: ok
+}
+
+func suppressed(err error) {
+	//rampvet:ignore obsguard -- usage text straight to the tty by design
+	fmt.Fprintln(os.Stderr, err)
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace_event. The exporter emits complete
+// ("X") events plus one metadata ("M") event naming the process; the
+// validator additionally accepts matched begin/end ("B"/"E") pairs, the
+// other spelling of the same format.
+//
+// Reference: the Trace Event Format document (the format consumed by
+// chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds, X only
+	PID   uint64         `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of a trace file.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace exports every finished span as Chrome trace_event
+// JSON. Each span becomes an "X" (complete) event: ts/dur are in
+// microseconds relative to the tracer's start, tid is the span's track
+// (so concurrently running spans never partially overlap on one
+// timeline row), and span/parent IDs ride in args for tooling that
+// wants to rebuild the tree across tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	// Parent-before-child order: by start time, longer span first on
+	// ties (a parent sharing its child's start tick must precede it so
+	// same-track nesting reads correctly).
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Dur > events[j].Dur
+	})
+	out := chromeTrace{
+		TraceEvents: []chromeEvent{{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   1,
+			Args:  map[string]any{"name": "ramp"},
+		}},
+		DisplayTimeUnit: "ms",
+	}
+	for _, ev := range events {
+		args := map[string]any{"span_id": ev.ID}
+		if ev.Parent != 0 {
+			args["parent_id"] = ev.Parent
+		}
+		for _, a := range ev.Attrs {
+			args[a.Key] = a.Value()
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  ev.Name,
+			Phase: "X",
+			TS:    float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur:   float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID:   1,
+			TID:   ev.Track,
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace parses data as a Chrome trace and checks the
+// minimal schema contract the exporter promises (and chrome://tracing /
+// Perfetto require to render sanely):
+//
+//   - the document is a JSON object with a traceEvents array (the bare
+//     JSON-array spelling is accepted too);
+//   - every event has a known phase; X/B/E events have a name;
+//   - timestamps are finite and non-negative, X durations non-negative;
+//   - per (pid, tid), B/E events match like brackets and, with events
+//     sorted by ts, X spans nest strictly — a span either contains the
+//     next one or ends before it starts, never a partial overlap.
+//
+// It returns the number of validated events.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		// Accept the bare-array spelling of the format.
+		if aerr := json.Unmarshal(data, &doc.TraceEvents); aerr != nil {
+			return 0, fmt.Errorf("obs: trace is neither a trace object nor an event array: %v", err)
+		}
+	}
+	type track struct{ pid, tid uint64 }
+	byTrack := map[track][]chromeEvent{}
+	lastTS := -1.0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X", "B", "E", "M", "I", "C":
+		default:
+			return 0, fmt.Errorf("obs: event %d: unknown phase %q", i, ev.Phase)
+		}
+		if ev.Phase == "M" || ev.Phase == "I" || ev.Phase == "C" {
+			continue // metadata/instant/counter events carry no duration
+		}
+		if ev.Name == "" {
+			return 0, fmt.Errorf("obs: event %d: %s event with empty name", i, ev.Phase)
+		}
+		if ev.TS < 0 {
+			return 0, fmt.Errorf("obs: event %d (%s): negative ts %v", i, ev.Name, ev.TS)
+		}
+		if ev.Phase == "X" && ev.Dur < 0 {
+			return 0, fmt.Errorf("obs: event %d (%s): negative dur %v", i, ev.Name, ev.Dur)
+		}
+		// The exporter emits events sorted by start time; require that
+		// monotonicity so a scrambled or clock-skewed trace fails fast.
+		if ev.TS < lastTS {
+			return 0, fmt.Errorf("obs: event %d (%s): ts %v goes backwards (previous %v)", i, ev.Name, ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		k := track{ev.PID, ev.TID}
+		byTrack[k] = append(byTrack[k], ev)
+	}
+	for k, evs := range byTrack {
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].TS < evs[j].TS {
+				return true
+			}
+			if evs[j].TS < evs[i].TS {
+				return false
+			}
+			return evs[i].Dur > evs[j].Dur // parent before child on ties
+		})
+		var stack []chromeEvent // open B events and containing X spans
+		for _, ev := range evs {
+			// Pop X spans that ended before this event starts.
+			for len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if top.Phase == "X" && top.TS+top.Dur <= ev.TS {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				break
+			}
+			switch ev.Phase {
+			case "B":
+				stack = append(stack, ev)
+			case "E":
+				if len(stack) == 0 || stack[len(stack)-1].Phase != "B" {
+					return 0, fmt.Errorf("obs: tid %d: E event %q at ts %v without matching B", k.tid, ev.Name, ev.TS)
+				}
+				if open := stack[len(stack)-1]; open.Name != ev.Name {
+					return 0, fmt.Errorf("obs: tid %d: E event %q at ts %v closes B event %q", k.tid, ev.Name, ev.TS, open.Name)
+				}
+				stack = stack[:len(stack)-1]
+			case "X":
+				if len(stack) > 0 {
+					top := stack[len(stack)-1]
+					if top.Phase == "X" && ev.TS+ev.Dur > top.TS+top.Dur {
+						return 0, fmt.Errorf("obs: tid %d: span %q [%v,%v] partially overlaps %q [%v,%v]",
+							k.tid, ev.Name, ev.TS, ev.TS+ev.Dur, top.Name, top.TS, top.TS+top.Dur)
+					}
+				}
+				stack = append(stack, ev)
+			}
+		}
+		for _, open := range stack {
+			if open.Phase == "B" {
+				return 0, fmt.Errorf("obs: tid %d: B event %q at ts %v never closed", k.tid, open.Name, open.TS)
+			}
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

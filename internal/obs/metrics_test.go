@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("hits_total") != c {
+		t.Error("Counter lookup not idempotent")
+	}
+
+	g := r.Gauge("entries")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+
+	h := r.Histogram("iters")
+	for _, v := range []int64{1, 2, 3, 5, 100, -4} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("histogram count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 111 { // -4 clamps to 0
+		t.Errorf("histogram sum = %d, want 111", got)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments recorded values")
+	}
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	r.WritePrometheus(&buf, "ramp_")
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote output: %q", buf.String())
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("invalid name", func() { r.Counter("bad-name") })
+	mustPanic("leading digit", func() { r.Counter("9lives") })
+	mustPanic("empty", func() { r.Gauge("") })
+	r.Counter("dual")
+	mustPanic("cross-kind duplicate", func() { r.Histogram("dual") })
+}
+
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0) // bucket 0 (v < 1)
+	h.Observe(1) // bucket 1 (v < 2)
+	h.Observe(3) // bucket 2 (v < 4)
+	h.Observe(3)
+	s := h.snapshot()
+	if s.Count != 4 || s.Sum != 7 {
+		t.Fatalf("snapshot count=%d sum=%d, want 4/7", s.Count, s.Sum)
+	}
+	// Cumulative: le=1 → 1, le=2 → 2, le=4 → 4 (= count, so +Inf omitted
+	// past saturation is fine as long as ordering is cumulative).
+	if s.Buckets["1"] != 1 || s.Buckets["2"] != 2 || s.Buckets["4"] != 4 {
+		t.Errorf("buckets = %v", s.Buckets)
+	}
+	prev := int64(0)
+	for _, le := range []string{"1", "2", "4"} {
+		if s.Buckets[le] < prev {
+			t.Errorf("bucket le=%s not cumulative: %v", le, s.Buckets)
+		}
+		prev = s.Buckets[le]
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("entries").Set(3)
+	r.Histogram("iters").Observe(4)
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"a_total", "b_total", "entries", "count=1 sum=4 mean=4.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Error("counters not sorted by name")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(7)
+	r.Gauge("cache_entries").Set(3)
+	h := r.Histogram("fixedpoint_iters")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf, "ramp_")
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE ramp_requests_total counter",
+		"ramp_requests_total 7",
+		"# TYPE ramp_cache_entries gauge",
+		"ramp_cache_entries 3",
+		"# TYPE ramp_fixedpoint_iters histogram",
+		`ramp_fixedpoint_iters_bucket{le="2"} 1`,
+		`ramp_fixedpoint_iters_bucket{le="4"} 2`,
+		`ramp_fixedpoint_iters_bucket{le="16"} 3`,
+		`ramp_fixedpoint_iters_bucket{le="+Inf"} 3`,
+		"ramp_fixedpoint_iters_sum 13",
+		"ramp_fixedpoint_iters_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// le bounds must appear in ascending order within the family.
+	if strings.Index(out, `le="2"`) > strings.Index(out, `le="4"`) ||
+		strings.Index(out, `le="4"`) > strings.Index(out, `le="+Inf"`) {
+		t.Errorf("histogram buckets out of order:\n%s", out)
+	}
+}
+
+func TestWritePromHistogramLabeled(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	h.Observe(5)
+	var buf bytes.Buffer
+	WritePromHistogram(&buf, "srv_latency_us", `route="evaluate"`, h.snapshot())
+	out := buf.String()
+	for _, want := range []string{
+		`srv_latency_us_bucket{route="evaluate",le="4"} 1`,
+		`srv_latency_us_bucket{route="evaluate",le="+Inf"} 2`,
+		`srv_latency_us_sum{route="evaluate"} 7`,
+		`srv_latency_us_count{route="evaluate"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared_total").Inc()
+				r.Histogram("shared_hist").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := r.Histogram("shared_hist").Count(); got != 800 {
+		t.Errorf("histogram count = %d, want 800", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package obs is the pipeline-wide observability layer: spans, metrics
+// and structured logging for every stage of the RAMP evaluation chain
+// (trace generation → OoO sim epochs → power → thermal fixed point →
+// failure-mechanism FIT → DRM/DTM sweeps → the rampserve HTTP service).
+// It is stdlib-only, like everything else in the module.
+//
+// Three pillars:
+//
+//   - Tracer/Span (trace.go, chrome.go): a lightweight span tracer with
+//     trace/span/parent IDs, typed attributes and monotonic durations,
+//     exported as Chrome trace_event JSON that loads directly into
+//     chrome://tracing or Perfetto. A nil *Tracer is the disabled
+//     tracer: every operation is a nil-check no-op and allocates
+//     nothing, so instrumentation can stay in the epoch hot path
+//     unconditionally.
+//
+//   - Registry (metrics.go): named atomic counters, gauges and
+//     log2-bucketed histograms that the pipeline stages register into
+//     (epochs simulated, fixed-point iterations, cache hits/misses,
+//     LU solves, sweep points, per-mechanism FIT compute time). One
+//     registry feeds both the end-of-run `-stats` summary and
+//     rampserve's /metrics (JSON and Prometheus text exposition).
+//
+//   - log/slog setup (log.go): a shared logger (level from -v /
+//     RAMP_LOG, text or JSON handler from RAMP_LOG_FORMAT) replacing
+//     ad-hoc fmt.Fprintf(os.Stderr, ...) diagnostics, plus request-ID
+//     context plumbing for rampserve's per-request access logs.
+//
+// Command binaries wire all three through AddFlags/Setup:
+//
+//	obsFlags := obs.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	rt, err := obsFlags.Setup()
+//	// ...
+//	defer rt.Close() // writes -trace JSON, prints the -stats summary
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Flags holds the observability command-line configuration shared by
+// every cmd binary: -trace, -stats and -v, mirroring how
+// internal/profiling shares -cpuprofile/-memprofile.
+type Flags struct {
+	TracePath string
+	Stats     bool
+	Verbose   bool
+}
+
+// AddFlags registers -trace, -stats and -v on fs and returns the Flags
+// that will receive their values after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace_event JSON span trace to `file` (load in chrome://tracing or Perfetto)")
+	fs.BoolVar(&f.Stats, "stats", false, "print the pipeline metrics summary to stderr on exit")
+	fs.BoolVar(&f.Verbose, "v", false, "verbose logging (debug level; RAMP_LOG overrides)")
+	return f
+}
+
+// Runtime bundles one process's observability state: the span tracer
+// (nil unless -trace was given), the metrics registry (always present)
+// and the configured logger (also installed as slog's default).
+type Runtime struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Log     *slog.Logger
+
+	tracePath string
+	stats     bool
+	statsOut  io.Writer
+}
+
+// Setup builds the process observability runtime from the parsed flags
+// and environment (RAMP_LOG, RAMP_LOG_FORMAT) and installs the logger
+// as slog's default.
+func (f *Flags) Setup() (*Runtime, error) {
+	level := slog.LevelInfo
+	if f.Verbose {
+		level = slog.LevelDebug
+	}
+	if env := os.Getenv("RAMP_LOG"); env != "" {
+		l, err := ParseLevel(env)
+		if err != nil {
+			return nil, err
+		}
+		level = l
+	}
+	logger := NewLogger(os.Stderr, level, os.Getenv("RAMP_LOG_FORMAT") == "json")
+	slog.SetDefault(logger)
+
+	rt := &Runtime{
+		Metrics:   NewRegistry(),
+		Log:       logger,
+		tracePath: f.TracePath,
+		stats:     f.Stats,
+		statsOut:  os.Stderr,
+	}
+	if f.TracePath != "" {
+		rt.Tracer = NewTracer()
+	}
+	return rt, nil
+}
+
+// Close flushes the runtime: the span trace is written to the -trace
+// file and, with -stats, the metrics summary is printed to stderr. Safe
+// to call once at process exit (typically deferred right after Setup).
+func (r *Runtime) Close() error {
+	if r.Tracer != nil && r.tracePath != "" {
+		f, err := os.Create(r.tracePath)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		werr := r.Tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("obs: write trace %s: %w", r.tracePath, werr)
+		}
+		r.Log.Debug("trace written", "path", r.tracePath, "spans", r.Tracer.Len())
+	}
+	if r.stats {
+		fmt.Fprintf(r.statsOut, "== ramp stats ==\n")
+		r.Metrics.WriteSummary(r.statsOut)
+	}
+	return nil
+}
+
+// CloseOrLog is Close for deferred use in command mains: a flush error
+// is logged rather than returned (there is nowhere else for it to go at
+// process exit).
+func (r *Runtime) CloseOrLog() {
+	if err := r.Close(); err != nil {
+		r.Log.Error("close observability runtime", "err", err)
+	}
+}
+
+// Fatal logs err at error level, flushes the runtime (so a partial
+// trace and the stats summary still land on disk) and exits 1. It is
+// the cmd binaries' uniform fatal-error path.
+func (r *Runtime) Fatal(msg string, err error) {
+	r.Log.Error(msg, "err", err)
+	if cerr := r.Close(); cerr != nil {
+		r.Log.Error("close observability runtime", "err", cerr)
+	}
+	os.Exit(1)
+}

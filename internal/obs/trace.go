@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records spans. The nil *Tracer is the disabled tracer: Start
+// returns the context unchanged and a disabled Span, and every Span
+// method on a disabled span is a nil-check no-op that performs no
+// allocation — instrumentation stays in hot paths unconditionally and
+// costs nothing when tracing is off (verified by
+// TestDisabledEpochPathZeroAlloc).
+//
+// A Tracer is safe for concurrent use: spans may start and end on any
+// goroutine; finished spans are appended to an internal buffer under a
+// mutex and exported once at the end of the run (WriteChromeTrace).
+type Tracer struct {
+	start time.Time
+	ids   atomic.Uint64 // span + track ID source (1-based)
+
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// NewTracer returns an enabled tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// SpanEvent is one finished span as recorded by the tracer.
+type SpanEvent struct {
+	Name   string
+	ID     uint64
+	Parent uint64 // 0 = root
+	Track  uint64 // virtual thread: spans on one track are strictly nested
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Attr is one typed span attribute. Typed constructors (not `any`)
+// keep attribute construction allocation-free at disabled call sites.
+type Attr struct {
+	Key  string
+	kind uint8
+	str  string
+	num  int64
+	f    float64
+}
+
+const (
+	attrStr = iota
+	attrInt
+	attrFloat
+)
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: attrStr, str: v} }
+
+// Int returns an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, num: v} }
+
+// Float returns a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// Value returns the attribute's value as an any (export and tests).
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return a.num
+	case attrFloat:
+		return a.f
+	default:
+		return a.str
+	}
+}
+
+// Span is a handle to one in-flight span. The zero Span is disabled.
+// Spans are values: copy freely, End exactly once.
+type Span struct {
+	t *Tracer
+	d *spanData
+}
+
+type spanData struct {
+	name   string
+	id     uint64
+	parent uint64
+	track  uint64
+	start  time.Time
+	attrs  []Attr
+}
+
+type spanCtxKey struct{}
+
+// SpanFromContext returns the span stored in ctx, or a disabled Span.
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(spanCtxKey{}).(Span)
+	return s
+}
+
+// Enabled reports whether the span records anything.
+func (s Span) Enabled() bool { return s.d != nil }
+
+// Start begins a span named name as a child of the span in ctx (if
+// any), on the parent's track: same-track spans must strictly nest, so
+// use Start for sequential work within one logical thread of execution.
+// It returns a context carrying the new span. On a nil tracer it
+// returns ctx unchanged and a disabled span without allocating.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	return t.startSpan(ctx, name, false)
+}
+
+// StartTrack is Start on a fresh track (virtual thread). Use it for
+// spans that run concurrently with their siblings — each HTTP request,
+// each exp evaluation inside a sweep — so exported tracks only ever
+// contain properly nested spans. The parent link still records where
+// the work was spawned from.
+func (t *Tracer) StartTrack(ctx context.Context, name string) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	return t.startSpan(ctx, name, true)
+}
+
+func (t *Tracer) startSpan(ctx context.Context, name string, newTrack bool) (context.Context, Span) {
+	parent := SpanFromContext(ctx)
+	d := &spanData{
+		name:  name,
+		id:    t.ids.Add(1),
+		start: time.Now(),
+	}
+	if parent.d != nil {
+		d.parent = parent.d.id
+		d.track = parent.d.track
+	}
+	if newTrack || d.track == 0 {
+		d.track = t.ids.Add(1)
+	}
+	s := Span{t: t, d: d}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// Annotate appends attributes to the span. No-op (and, with inlining,
+// allocation-free) when disabled; prefer the typed single-attribute
+// helpers on hot paths.
+func (s Span) Annotate(attrs ...Attr) {
+	if s.d == nil {
+		return
+	}
+	s.d.attrs = append(s.d.attrs, attrs...)
+}
+
+// AnnotateInt appends one integer attribute without building a slice.
+func (s Span) AnnotateInt(key string, v int64) {
+	if s.d == nil {
+		return
+	}
+	s.d.attrs = append(s.d.attrs, Int(key, v))
+}
+
+// End finishes the span and records it on the tracer. Calling End on a
+// disabled span is a no-op.
+func (s Span) End() {
+	if s.d == nil {
+		return
+	}
+	end := time.Now()
+	ev := SpanEvent{
+		Name:   s.d.name,
+		ID:     s.d.id,
+		Parent: s.d.parent,
+		Track:  s.d.track,
+		Start:  s.d.start.Sub(s.t.start),
+		Dur:    end.Sub(s.d.start),
+		Attrs:  s.d.attrs,
+	}
+	if ev.Start < 0 {
+		ev.Start = 0
+	}
+	if ev.Dur < 0 {
+		ev.Dur = 0
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// Events snapshots the finished spans in End order (tests and export).
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// Len reports how many spans have finished.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

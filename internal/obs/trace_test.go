@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndIdentity(t *testing.T) {
+	tr := NewTracer()
+	ctx := context.Background()
+
+	ctx1, root := tr.Start(ctx, "evaluate")
+	ctx2, epoch := tr.Start(ctx1, "epoch")
+	epoch.AnnotateInt("epoch", 3)
+	_, fp := tr.Start(ctx2, "fixedpoint")
+	fp.AnnotateInt("iters", 7)
+	fp.End()
+	epoch.End()
+	root.Annotate(Str("app", "gcc"), Float("fit", 12.5))
+	root.End()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// End order: fixedpoint, epoch, evaluate.
+	byName := map[string]SpanEvent{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	rootEv, epochEv, fpEv := byName["evaluate"], byName["epoch"], byName["fixedpoint"]
+	if rootEv.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", rootEv.Parent)
+	}
+	if epochEv.Parent != rootEv.ID {
+		t.Errorf("epoch parent = %d, want root ID %d", epochEv.Parent, rootEv.ID)
+	}
+	if fpEv.Parent != epochEv.ID {
+		t.Errorf("fixedpoint parent = %d, want epoch ID %d", fpEv.Parent, epochEv.ID)
+	}
+	// Start inherits the parent's track.
+	if epochEv.Track != rootEv.Track || fpEv.Track != rootEv.Track {
+		t.Errorf("tracks differ: root=%d epoch=%d fp=%d", rootEv.Track, epochEv.Track, fpEv.Track)
+	}
+	if got := len(rootEv.Attrs); got != 2 {
+		t.Errorf("root attrs = %d, want 2", got)
+	}
+	if fpEv.Attrs[0].Key != "iters" || fpEv.Attrs[0].Value() != int64(7) {
+		t.Errorf("fixedpoint attr = %+v", fpEv.Attrs[0])
+	}
+	if fpEv.Start < epochEv.Start || fpEv.Start+fpEv.Dur > epochEv.Start+epochEv.Dur+time.Millisecond {
+		t.Errorf("fixedpoint [%v,%v] escapes epoch [%v,%v]",
+			fpEv.Start, fpEv.Start+fpEv.Dur, epochEv.Start, epochEv.Start+epochEv.Dur)
+	}
+}
+
+func TestStartTrackAllocatesFreshTrack(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.Start(context.Background(), "sweep")
+	_, a := tr.StartTrack(ctx, "point")
+	_, b := tr.StartTrack(ctx, "point")
+	a.End()
+	b.End()
+	root.End()
+
+	evs := tr.Events()
+	tracks := map[uint64]bool{}
+	for _, ev := range evs {
+		if ev.Name == "point" {
+			tracks[ev.Track] = true
+			if ev.Parent == 0 {
+				t.Errorf("point span lost its parent link")
+			}
+		}
+	}
+	if len(tracks) != 2 {
+		t.Errorf("concurrent siblings share a track: %v", tracks)
+	}
+}
+
+func TestNilTracerAndDisabledSpan(t *testing.T) {
+	var tr *Tracer
+	ctx := context.Background()
+	ctx2, s := tr.Start(ctx, "anything")
+	if ctx2 != ctx {
+		t.Error("nil tracer modified the context")
+	}
+	if s.Enabled() {
+		t.Error("nil tracer returned an enabled span")
+	}
+	// All methods must be safe no-ops.
+	s.Annotate(Str("k", "v"))
+	s.AnnotateInt("n", 1)
+	s.End()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil tracer recorded events")
+	}
+	if got := SpanFromContext(ctx); got.Enabled() {
+		t.Error("empty context produced an enabled span")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, s := tr.StartTrack(context.Background(), "worker")
+			_, child := tr.Start(ctx, "step")
+			child.End()
+			s.End()
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 32 {
+		t.Fatalf("got %d events, want 32", got)
+	}
+	ids := map[uint64]bool{}
+	for _, ev := range tr.Events() {
+		if ids[ev.ID] {
+			t.Fatalf("duplicate span ID %d", ev.ID)
+		}
+		ids[ev.ID] = true
+	}
+}
+
+func TestWriteChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.Start(context.Background(), "evaluate")
+	for i := 0; i < 3; i++ {
+		_, epoch := tr.Start(ctx, "epoch")
+		epoch.AnnotateInt("epoch", int64(i))
+		epoch.End()
+	}
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace failed validation: %v", err)
+	}
+	if n != 5 { // 1 metadata + 4 spans
+		t.Errorf("validated %d events, want 5", n)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	var sawMeta, sawEpoch bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			sawMeta = true
+		case "X":
+			if ev["name"] == "epoch" {
+				sawEpoch = true
+				args := ev["args"].(map[string]any)
+				if args["parent_id"] == nil || args["span_id"] == nil || args["epoch"] == nil {
+					t.Errorf("epoch args missing fields: %v", args)
+				}
+			}
+		}
+	}
+	if !sawMeta || !sawEpoch {
+		t.Errorf("missing events: meta=%v epoch=%v", sawMeta, sawEpoch)
+	}
+}
+
+func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"not json", `{{`, "neither"},
+		{"unknown phase", `[{"name":"a","ph":"Z","ts":0,"pid":1,"tid":1}]`, "unknown phase"},
+		{"empty name", `[{"name":"","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]`, "empty name"},
+		{"negative ts", `[{"name":"a","ph":"X","ts":-5,"dur":1,"pid":1,"tid":1}]`, "negative ts"},
+		{"negative dur", `[{"name":"a","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1}]`, "negative dur"},
+		{"backwards ts", `[{"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":1},{"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":2}]`, "goes backwards"},
+		{"partial overlap", `[{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},{"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1}]`, "partially overlaps"},
+		{"unmatched E", `[{"name":"a","ph":"E","ts":0,"pid":1,"tid":1}]`, "without matching B"},
+		{"mismatched E", `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"b","ph":"E","ts":1,"pid":1,"tid":1}]`, "closes B event"},
+		{"unclosed B", `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]`, "never closed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateChromeTrace([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("validation accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateChromeTraceAcceptsValidForms(t *testing.T) {
+	cases := []struct {
+		name, data string
+		want       int
+	}{
+		{"bare array", `[{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1}]`, 1},
+		{"proper nesting", `[{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},{"name":"b","ph":"X","ts":2,"dur":3,"pid":1,"tid":1}]`, 2},
+		{"sequential", `[{"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":1},{"name":"b","ph":"X","ts":5,"dur":5,"pid":1,"tid":1}]`, 2},
+		{"matched BE", `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"a","ph":"E","ts":10,"pid":1,"tid":1}]`, 2},
+		{"same start parent first", `[{"name":"p","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},{"name":"c","ph":"X","ts":0,"dur":4,"pid":1,"tid":1}]`, 2},
+		{"different tracks overlap", `[{"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1},{"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":2}]`, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := ValidateChromeTrace([]byte(tc.data))
+			if err != nil {
+				t.Fatalf("validation rejected %s: %v", tc.name, err)
+			}
+			if n != tc.want {
+				t.Errorf("validated %d events, want %d", n, tc.want)
+			}
+		})
+	}
+}
+
+// TestDisabledEpochPathZeroAlloc proves the acceptance criterion that a
+// disabled tracer + nil metrics make the epoch hot-path instrumentation
+// free: no allocations per epoch.
+func TestDisabledEpochPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	epochs := reg.Counter("exp_epochs_simulated_total")
+	iters := reg.Histogram("exp_fixedpoint_iters")
+	ctx := context.Background()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		ctx2, span := tr.Start(ctx, "epoch")
+		span.AnnotateInt("epoch", 1)
+		_, fp := tr.Start(ctx2, "fixedpoint")
+		fp.AnnotateInt("iters", 12)
+		fp.End()
+		span.End()
+		epochs.Inc()
+		iters.Observe(12)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled epoch path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledEpochPath reports the per-epoch cost of disabled
+// instrumentation (expected: a few ns, 0 allocs/op).
+func BenchmarkDisabledEpochPath(b *testing.B) {
+	var tr *Tracer
+	var reg *Registry
+	epochs := reg.Counter("exp_epochs_simulated_total")
+	iters := reg.Histogram("exp_fixedpoint_iters")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx2, span := tr.Start(ctx, "epoch")
+		span.AnnotateInt("epoch", int64(i))
+		_, fp := tr.Start(ctx2, "fixedpoint")
+		fp.AnnotateInt("iters", 12)
+		fp.End()
+		span.End()
+		epochs.Inc()
+		iters.Observe(12)
+	}
+}
+
+func BenchmarkEnabledEpochPath(b *testing.B) {
+	tr := NewTracer()
+	reg := NewRegistry()
+	epochs := reg.Counter("exp_epochs_simulated_total")
+	iters := reg.Histogram("exp_fixedpoint_iters")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx2, span := tr.Start(ctx, "epoch")
+		_, fp := tr.Start(ctx2, "fixedpoint")
+		fp.End()
+		span.End()
+		epochs.Inc()
+		iters.Observe(12)
+	}
+}

@@ -9,6 +9,7 @@ package profiling
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -69,16 +70,18 @@ func (c *Config) Start() (stop func() error, err error) {
 	}, nil
 }
 
-// MustStart is Start for command mains: any error is fatal.
+// MustStart is Start for command mains: any error is fatal. Errors go
+// through the process-default structured logger (internal/obs wires it
+// in every binary).
 func (c *Config) MustStart() (stop func()) {
 	s, err := c.Start()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error("profiling failed to start", "err", err)
 		os.Exit(1)
 	}
 	return func() {
 		if err := s(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			slog.Error("profile write failed", "err", err)
 		}
 	}
 }

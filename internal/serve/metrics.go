@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"ramp/internal/obs"
 )
 
 // histBuckets is the number of power-of-two latency buckets. Bucket i
@@ -127,12 +129,23 @@ type metricsSnapshot struct {
 	Cache cacheCounters `json:"cache"`
 
 	LatencyUS map[string]histSnapshot `json:"latency_us"`
+
+	// Pipeline mirrors the env's obs registry when the server was built
+	// over an instrumented environment; omitted otherwise, so the JSON
+	// document is unchanged for uninstrumented servers.
+	Pipeline *obs.Snapshot `json:"pipeline,omitempty"`
 }
 
 func (s *Server) snapshotMetrics() metricsSnapshot {
 	m := s.metrics
 	cs := s.env.CacheStats()
+	var pipeline *obs.Snapshot
+	if s.env.Metrics != nil {
+		snap := s.env.Metrics.Snapshot()
+		pipeline = &snap
+	}
 	return metricsSnapshot{
+		Pipeline:  pipeline,
 		UptimeSec: time.Since(m.start).Seconds(),
 		RequestsTotal: map[string]int64{
 			"evaluate": m.requestsEvaluate.Load(),
@@ -160,6 +173,13 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsMetrics.Add(1)
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.writePrometheus(w, s.snapshotMetrics())
+		s.metrics.countResponse(http.StatusOK)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.snapshotMetrics())
 	s.metrics.countResponse(http.StatusOK)
 }

@@ -27,11 +27,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"net/http"
 	"time"
 
 	"ramp/internal/exp"
+	"ramp/internal/obs"
 	"ramp/internal/profiling"
 )
 
@@ -55,6 +57,10 @@ type Config struct {
 	FreqStepHz float64
 	// EnablePprof mounts /debug/pprof/ handlers.
 	EnablePprof bool
+	// Log receives per-request access logs and server lifecycle events
+	// (nil = discard). Request logs carry the request ID, method, path,
+	// status and duration.
+	Log *slog.Logger
 }
 
 // DefaultConfig returns production-leaning defaults: one worker per
@@ -81,21 +87,31 @@ type Server struct {
 	pool    *pool
 	metrics *metrics
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request middleware
+	log     *slog.Logger
 
 	// addr publishes the bound listener address once Serve starts.
 	addr chan net.Addr
 }
 
 // New builds a Server over env (which owns the evaluation cache; pass a
-// long-lived Env so the cache survives across requests).
+// long-lived Env so the cache survives across requests). If env is
+// instrumented (exp.Env.Instrument), every request gets a span on the
+// env's tracer and /metrics exposes the pipeline registry alongside the
+// server's own counters.
 func New(env *exp.Env, cfg Config) *Server {
 	m := newMetrics()
+	log := cfg.Log
+	if log == nil {
+		log = obs.Discard()
+	}
 	s := &Server{
 		cfg:     cfg,
 		env:     env,
 		pool:    newPool(cfg.Workers, cfg.QueueDepth, m),
 		metrics: m,
 		mux:     http.NewServeMux(),
+		log:     log,
 		addr:    make(chan net.Addr, 1),
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
@@ -105,11 +121,14 @@ func New(env *exp.Env, cfg Config) *Server {
 	if cfg.EnablePprof {
 		profiling.RegisterHTTP(s.mux)
 	}
+	s.handler = s.middleware(s.mux)
 	return s
 }
 
-// Handler returns the routing handler (for httptest and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routing handler wrapped in the request middleware
+// — request-ID plumbing, per-request spans and access logs (for
+// httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Env returns the server's evaluation environment (tests assert on its
 // cache statistics).
@@ -138,7 +157,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // queued jobs) finish within DrainTimeout, and return nil on a clean
 // drain. It owns ln.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	hs := &http.Server{Handler: s.mux}
+	hs := &http.Server{Handler: s.handler}
 	select {
 	case s.addr <- ln.Addr():
 	default:

@@ -27,6 +27,7 @@ import (
 
 	"ramp/internal/config"
 	"ramp/internal/floorplan"
+	"ramp/internal/obs"
 	"ramp/internal/trace"
 )
 
@@ -154,6 +155,18 @@ type Core struct {
 	c counters
 
 	retiredTotal uint64
+
+	// Observability counters (nil = uncounted; see Instrument).
+	obsRetired *obs.Counter
+	obsCycles  *obs.Counter
+}
+
+// Instrument attaches pipeline-wide counters that Run feeds after every
+// epoch: instructions retired and cycles simulated. Nil counters (the
+// default) cost a nil-check no-op per epoch, nothing per cycle.
+func (c *Core) Instrument(retired, cycles *obs.Counter) {
+	c.obsRetired = retired
+	c.obsCycles = cycles
 }
 
 // New builds a core for cfg running the given source's trace.
@@ -232,7 +245,10 @@ func (c *Core) Run(n uint64) Result {
 				c.cycle-startCycle, c.retiredTotal, target))
 		}
 	}
-	return c.makeResult(startCycle)
+	res := c.makeResult(startCycle)
+	c.obsRetired.Add(int64(res.Retired))
+	c.obsCycles.Add(int64(res.Cycles))
+	return res
 }
 
 // step advances the core by one cycle.

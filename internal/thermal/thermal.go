@@ -36,6 +36,7 @@ import (
 
 	"ramp/internal/check"
 	"ramp/internal/floorplan"
+	"ramp/internal/obs"
 	"ramp/internal/power"
 )
 
@@ -92,7 +93,17 @@ type Model struct {
 	full    lu        // n-node full network with sink->ambient coupling
 	fullA   []float64 // pristine copy of the full matrix, for Step's C/dt refactorization
 	gToSink []float64 // per-node conductance into the pinned sink (RHS assembly)
+
+	// solves counts linear-system solves (observability; nil = uncounted).
+	solves *obs.Counter
 }
+
+// CountSolves attaches a counter incremented once per linear-system
+// solve — SteadyState, QuasiSteady and transient Step all count. The
+// counter is atomic, so counting stays safe under concurrent solves;
+// a nil counter (the default) keeps the hot path increment-free in
+// spirit (a nil-check no-op).
+func (m *Model) CountSolves(c *obs.Counter) { m.solves = c }
 
 // New assembles the thermal network for a floorplan and factorizes its
 // steady-state systems.
@@ -231,6 +242,7 @@ func (m *Model) SteadyState(blockPower power.Vector) []float64 {
 	}
 	t := make([]float64, m.n)
 	m.full.solveInto(t, b[:m.n])
+	m.solves.Inc()
 	for _, v := range t {
 		check.TempK("thermal.SteadyState", v)
 	}
@@ -262,6 +274,7 @@ func (m *Model) QuasiSteady(blockPower power.Vector, sinkTempK float64) power.Ve
 		b[s] += blockPower[s]
 	}
 	m.quasi.solveInto(x[:n], b[:n])
+	m.solves.Inc()
 	var out power.Vector
 	copy(out[:], x[:floorplan.NumStructures])
 	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
@@ -339,6 +352,7 @@ func (st *State) Step(blockPower power.Vector, dt float64) {
 		b[s] += blockPower[s]
 	}
 	st.step.solveInto(st.x, b)
+	m.solves.Inc()
 	copy(st.temps, st.x)
 }
 

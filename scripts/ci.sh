@@ -7,7 +7,8 @@
 # fast), short fuzz bursts on the trace generator and the cache key, the
 # end-to-end smoke script, and the rampvet domain linter. Every lane
 # runs even if an earlier one fails; the exit status is the number of
-# failed lanes.
+# failed lanes. The obscheck lane exercises the observability layer
+# (-trace/-stats on a real run, trace validation, obsguard).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -46,6 +47,7 @@ lane "go test -race (short)" go test -race -short ./internal/...
 lane "fuzz trace" go test -fuzz FuzzTraceGenerator -fuzztime 5s -run '^$' ./internal/trace/
 lane "fuzz cachekey" go test -fuzz FuzzCacheKey -fuzztime 5s -run '^$' ./internal/exp/
 lane "smoke" ./scripts/smoke.sh
+lane "obscheck" ./scripts/obscheck.sh
 lane "rampvet" go run ./cmd/rampvet ./...
 
 if [ "${failures}" -ne 0 ]; then

@@ -2,10 +2,12 @@
 # smoke.sh — end-to-end smoke test of every cmd/ binary.
 #
 # Builds all binaries, checks that each one prints usage and exits 0 on
-# -h, runs a tiny real invocation of each batch tool, and drives the
-# rampserve service over HTTP: healthz, an evaluate request, metrics,
-# then SIGTERM and a clean-drain exit check. Fast by construction
-# (short runs, coarse grids); CI runs it on every push.
+# -h, runs a tiny real invocation of each batch tool (including a span
+# trace captured with -trace and validated with tracecheck), and drives
+# the rampserve service over HTTP: healthz, an evaluate request, metrics
+# in both JSON and Prometheus form, request-ID echo, then SIGTERM and a
+# clean-drain exit check. Fast by construction (short runs, coarse
+# grids); CI runs it on every push.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,7 +24,7 @@ trap cleanup EXIT
 
 step() { echo "==> $*"; }
 
-binaries="rampsim ramptables drmexplore drmdtm scaling rampvet rampserve"
+binaries="rampsim ramptables drmexplore drmdtm scaling rampvet rampserve tracecheck"
 
 step "build all binaries"
 for b in ${binaries}; do
@@ -46,9 +48,15 @@ for b in ${binaries}; do
 	}
 done
 
-step "rampsim: single short evaluation"
-"${bindir}/rampsim" -app twolf -warmup 20000 -epochs 3 -epoch-instrs 50000 >"${logdir}/rampsim.out"
+step "rampsim: single short evaluation with span trace and stats"
+"${bindir}/rampsim" -app twolf -warmup 20000 -epochs 3 -epoch-instrs 50000 \
+	-trace "${logdir}/rampsim.trace.json" -stats \
+	>"${logdir}/rampsim.out" 2>"${logdir}/rampsim.err"
 grep -q "FIT" "${logdir}/rampsim.out"
+grep -q "exp_epochs_simulated_total" "${logdir}/rampsim.err"
+
+step "tracecheck: captured trace is valid Chrome trace_event JSON"
+"${bindir}/tracecheck" "${logdir}/rampsim.trace.json"
 
 step "ramptables: Table 1 (configuration only, no simulation)"
 "${bindir}/ramptables" -quick -table 1 >"${logdir}/ramptables.out"
@@ -91,6 +99,21 @@ curl -sSf -X POST "http://${addr}/v1/evaluate" \
 	-d '{"app":"twolf","freq_hz":4.5e9,"tqual_k":370}' >"${logdir}/evaluate.json"
 grep -q '"fit"' "${logdir}/evaluate.json"
 curl -sSf "http://${addr}/metrics" | grep -q '"requests_total"'
+
+step "rampserve: request-ID echo (inbound honored, generated otherwise)"
+curl -sSf -D "${logdir}/rid.h" -o /dev/null \
+	-H 'X-Request-ID: smoke-probe-1' "http://${addr}/v1/healthz"
+grep -qi '^x-request-id: smoke-probe-1' "${logdir}/rid.h"
+curl -sSf -D "${logdir}/rid2.h" -o /dev/null "http://${addr}/v1/healthz"
+grep -qi '^x-request-id: ramp-' "${logdir}/rid2.h"
+
+step "rampserve: /metrics Prometheus text exposition"
+curl -sSf "http://${addr}/metrics?format=prom" >"${logdir}/metrics.prom"
+grep -q '# TYPE rampserve_requests_total counter' "${logdir}/metrics.prom"
+grep -q 'rampserve_requests_total{route="evaluate"} 1' "${logdir}/metrics.prom"
+grep -q 'rampserve_latency_us_bucket{route="evaluate",le="+Inf"} 1' "${logdir}/metrics.prom"
+curl -sSf -H 'Accept: text/plain' "http://${addr}/metrics" \
+	| grep -q '# TYPE rampserve_uptime_seconds gauge'
 
 kill -TERM "${server_pid}"
 status=0
