@@ -9,33 +9,70 @@
 //	seeddet     non-deterministic RNG construction outside tests
 //	errdrop     statement-position calls silently dropping errors
 //	obsguard    raw fmt.Fprint*(os.Stderr, ...) in internal packages
+//	detmap      map iteration order reaching output or FP accumulation
+//	ctxflow     ctx-bearing functions severing cancellation from long-running work
+//	hotalloc    allocation sources inside //ramp:hot functions
+//	goroleak    goroutines with no ctx/channel/WaitGroup escape route
+//
+// The last four are flow-aware: they consult the package call graph and
+// per-function control-flow graphs built by internal/lint/flow.
 //
 // Usage:
 //
-//	rampvet [-analyzers list] [-list] [packages]
+//	rampvet [flags] [packages]
 //
 // Packages default to ./... relative to the working directory, which
-// must be inside the module. rampvet exits 0 if no diagnostics were
-// reported, 1 if any were, and 2 on usage or load errors — the same
-// contract as go vet, so it slots into scripts/ci.sh unchanged.
+// must be inside the module. Findings are compared against the
+// module-root .rampvet-baseline (override with -baseline): baselined
+// findings are grandfathered and reported only in the exit-0 summary,
+// fresh findings fail the run. -write-baseline regenerates the file
+// from the current tree; -json emits machine-readable findings;
+// -lint-stats prints per-analyzer counts. rampvet exits 0 if every finding is
+// baselined, 1 if any fresh finding was reported, and 2 on usage or
+// load errors — the same contract as go vet, so it slots into
+// scripts/ci.sh unchanged.
 //
 // rampvet is the static half of RAMP's correctness tooling; the runtime
 // half is internal/check, enabled with `go test -tags rampdebug ./...`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ramp/internal/lint"
 	"ramp/internal/obs"
 )
 
+// jsonDiagnostic is the -json wire shape for one finding: the flat,
+// stable subset of lint.Diagnostic that external tooling keys on.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fresh    bool   `json:"fresh"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	listFlag := flag.Bool("list", false, "list available analyzers and exit")
 	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	disableFlag := flag.String("disable", "", "comma-separated analyzers to exclude from the run")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	statsFlag := flag.Bool("lint-stats", false, "print per-analyzer finding counts after the run (-stats is the obs metrics summary)")
+	baselineFlag := flag.String("baseline", "", "baseline file grandfathering known findings (default: <module root>/"+lint.BaselineName+")")
+	writeBaselineFlag := flag.Bool("write-baseline", false, "rewrite the baseline from the current tree's findings and exit")
+	tagsFlag := flag.String("tags", "", "comma-separated extra build tags (e.g. rampdebug)")
+	workersFlag := flag.Int("workers", 0, "concurrent package analyses (default: GOMAXPROCS)")
 	obsFlags := obs.AddFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: rampvet [flags] [packages]\n")
@@ -45,7 +82,7 @@ func main() {
 	rt, err := obsFlags.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rampvet:", err)
-		os.Exit(2)
+		return 2
 	}
 	defer rt.CloseOrLog()
 
@@ -53,7 +90,7 @@ func main() {
 		for _, a := range lint.All() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	analyzers := lint.All()
@@ -61,25 +98,115 @@ func main() {
 		analyzers, err = lint.ByName(strings.Split(*analyzersFlag, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
+	}
+	if *disableFlag != "" {
+		// Validate the names first so a typo fails loudly instead of
+		// silently disabling nothing.
+		if _, err := lint.ByName(strings.Split(*disableFlag, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		disabled := map[string]bool{}
+		for _, name := range strings.Split(*disableFlag, ",") {
+			disabled[strings.TrimSpace(name)] = true
+		}
+		kept := analyzers[:0:0]
+		for _, a := range analyzers {
+			if !disabled[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "rampvet: every analyzer is disabled")
+		return 2
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
-	diags, err := lint.Run(cwd, flag.Args(), analyzers)
+	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	baselinePath := *baselineFlag
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, lint.BaselineName)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rampvet: %d issue(s) found\n", len(diags))
-		os.Exit(1)
+
+	cfg := lint.Config{Workers: *workersFlag}
+	if *tagsFlag != "" {
+		cfg.Tags = strings.Split(*tagsFlag, ",")
 	}
+	diags, err := lint.RunConfigured(cfg, cwd, flag.Args(), analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	if *writeBaselineFlag {
+		if err := lint.WriteBaseline(baselinePath, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "rampvet: wrote %d finding(s) to %s\n", len(diags), baselinePath)
+		return 0
+	}
+
+	base, err := lint.LoadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fresh, grandfathered := base.Filter(root, diags)
+
+	if *jsonFlag {
+		freshSet := map[lint.Diagnostic]bool{}
+		for _, d := range fresh {
+			freshSet[d] = true
+		}
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Fresh:    freshSet[d],
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Println(d)
+		}
+	}
+
+	if *statsFlag {
+		for _, s := range lint.Stats(analyzers, diags) {
+			fmt.Fprintf(os.Stderr, "%-12s %d\n", s.Name, s.Count)
+		}
+	}
+
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "rampvet: %d fresh issue(s) found (%d grandfathered by %s)\n",
+			len(fresh), grandfathered, baselinePath)
+		return 1
+	}
+	if grandfathered > 0 {
+		fmt.Fprintf(os.Stderr, "rampvet: clean (%d grandfathered finding(s) in %s)\n", grandfathered, baselinePath)
+	}
+	return 0
 }

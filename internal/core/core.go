@@ -212,6 +212,8 @@ func (p Params) TCRate(avgTempK float64) float64 {
 // Rate dispatches to the mechanism's rate model. For TC the relevant
 // temperature is the run-average temperature, which callers put in
 // c.TempK.
+//
+//ramp:hot
 func (p Params) Rate(m Mechanism, c Conditions) float64 {
 	var r float64
 	switch m {
@@ -315,6 +317,8 @@ func NewBudget(fp *floorplan.Floorplan, p Params, q Qualification) (*Budget, err
 // InstantFIT returns the instantaneous FIT contribution of structure s
 // under mechanism m at conditions c: the budgeted FIT scaled by the
 // failure-rate ratio against qualification conditions.
+//
+//ramp:hot
 func (b *Budget) InstantFIT(p Params, s floorplan.Structure, m Mechanism, c Conditions) float64 {
 	fit := b.Alloc[s][m] * p.Rate(m, c) / b.QualRate[s][m]
 	check.NonNegative("core.Budget.InstantFIT", fit)

@@ -64,6 +64,8 @@ func (e *Engine) Budget() *Budget { return e.budget }
 func (e *Engine) Params() Params { return e.params }
 
 // Observe folds one interval into the running averages.
+//
+//ramp:hot
 func (e *Engine) Observe(iv Interval) error {
 	if iv.DurationSec <= 0 {
 		return fmt.Errorf("core: non-positive interval duration %v", iv.DurationSec)

@@ -42,6 +42,8 @@ func (e *Engine) SetTimers(t *FITTimers) { e.timers = t }
 // observeTimed is Observe's mechanism-major body: one timed pass over
 // all structures per mechanism. Inputs were already validated by
 // Observe.
+//
+//ramp:hot
 func (e *Engine) observeTimed(iv Interval, w float64) {
 	start := time.Now()
 	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {

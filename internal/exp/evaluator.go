@@ -269,6 +269,7 @@ func (e *Env) EvaluateCtx(ctx context.Context, app trace.Profile, proc config.Pr
 	}
 	res := ent.res
 	if qual != ent.qual {
+		//rampvet:ignore ctxflow -- single-result requalification is bounded CPU over cached epoch rows; cancellation already happened at the evaluate/cache-wait stage above
 		a, err := e.Requalify(ent.res, qual)
 		if err != nil {
 			return Result{}, err
@@ -445,6 +446,8 @@ func (e *Env) EpochConditions(activity [floorplan.NumStructures]float64, on powe
 // always an upper bound, so the adaptive exit can only skip iterations
 // whose effect would be under TolK. The returned iteration count feeds
 // the exp_fixedpoint_iters histogram and span annotations.
+//
+//ramp:hot
 func (e *Env) epochFixedPoint(activity [floorplan.NumStructures]float64, on power.Vector, proc config.Proc, sinkK float64) (temps, pw power.Vector, iters int) {
 	var act power.Vector
 	copy(act[:], activity[:])
@@ -465,6 +468,8 @@ func (e *Env) epochFixedPoint(activity [floorplan.NumStructures]float64, on powe
 }
 
 // maxAbsDelta returns the largest per-component absolute difference.
+//
+//ramp:hot
 func maxAbsDelta(a, b power.Vector) float64 {
 	var m float64
 	for i := range a {
@@ -533,6 +538,7 @@ func (e *Env) RequalifyAll(results []Result, qual core.Qualification) ([]core.As
 func (e *Env) RequalifyAllCtx(ctx context.Context, results []Result, qual core.Qualification) ([]core.Assessment, error) {
 	assessments := make([]core.Assessment, len(results))
 	errs := make([]error, len(results))
+	//rampvet:ignore ctxflow -- cancellation granularity is the job boundary: runPool checks ctx between candidates, and one Requalify is bounded CPU work
 	run := func(i int) { assessments[i], errs[i] = e.Requalify(results[i], qual) }
 	if err := runPool(ctx, len(results), run); err != nil {
 		return nil, err
@@ -553,6 +559,9 @@ func runPool(ctx context.Context, n int, run func(i int)) error {
 	workers := min(n, max(1, runtime.GOMAXPROCS(0)))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	// Each worker is triply covered for goroleak's purposes: joined via
+	// the WaitGroup, bounded by the range over idx (closed by the feeder
+	// below), and cancelled by the per-job ctx check.
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ramp/internal/lint/flow"
+)
+
+// DetMap flags map-range loops whose iteration order can leak into
+// program output or floating-point accumulation.
+//
+// Go randomizes map iteration order on purpose; this repo's golden
+// suite byte-compares every table and figure against committed
+// snapshots, and RAMP's FIT sums are floating-point — addition is not
+// associative, so summing map values in a random order produces
+// run-to-run ULP drift that the golden compare reports as corruption.
+// The two sinks that make a map range order-sensitive are therefore:
+//
+//   - accumulation: a `+=`-family assignment of float (order-dependent
+//     rounding) or string (order-dependent content) into state declared
+//     outside the loop;
+//   - emission: a call that writes — the fmt print family, Write*
+//     methods, json.Encoder.Encode — directly in the loop body or
+//     transitively through the package call graph (a call into a local
+//     function that accumulates into shared state — receiver fields,
+//     pointer parameters, package variables — counts the same way).
+//
+// Map ranges that only read, count into integers, or collect keys for
+// sorting are left alone. Deliberately order-insensitive loops take a
+// `//rampvet:ignore detmap` directive with justification.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags map-range loops whose iteration order reaches output or floating-point accumulation",
+	Run:  runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	g := flow.BuildGraph(pass.Files, pass.Info)
+	for _, fi := range g.Decls {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if sink := detMapSink(pass, g, rs); sink != "" {
+				pass.Reportf(rs.For, "map iteration order reaches %s; iterate sorted keys on deterministic paths", sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// detMapSink scans a map-range body for an order-sensitive sink and
+// describes the first one found ("" if none).
+func detMapSink(pass *Pass, g *flow.Graph, rs *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if s := accumulationSink(pass, rs, n); s != "" {
+				sink = s
+				return false
+			}
+		case *ast.CallExpr:
+			callee := flow.Callee(pass.Info, n)
+			if callee == nil {
+				return true
+			}
+			if isWriterFunc(callee) {
+				sink = "output via " + callee.FullName()
+				return false
+			}
+			if g.CallOrReaches(callee, func(c *types.Func, local *flow.FuncInfo) bool {
+				return isWriterFunc(c) || accumulatesShared(pass.Info, local)
+			}) {
+				sink = "an order-sensitive sink through " + callee.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// accumulationSink reports a compound float/string accumulation into
+// state declared outside the range statement.
+func accumulationSink(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	lhs := as.Lhs[0]
+	t := pass.TypeOf(lhs)
+	kind := ""
+	switch {
+	case isFloat(t):
+		kind = "floating-point accumulation"
+	case isString(t):
+		kind = "string accumulation"
+	default:
+		return ""
+	}
+	if obj := baseObject(pass.Info, lhs); obj != nil &&
+		obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return "" // loop-local accumulator: order cannot escape
+	}
+	return kind + " into " + types.ExprString(lhs)
+}
+
+// accumulatesShared reports whether a local function's body contains a
+// compound float accumulation into state visible outside the call:
+// receiver/pointer fields, indexed state, or package-level variables.
+func accumulatesShared(info *types.Info, fi *flow.FuncInfo) bool {
+	if fi == nil || fi.Decl == nil || fi.Decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(info.TypeOf(lhs)) {
+			return true
+		}
+		if sharedLHS(info, lhs) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sharedLHS reports whether an assignment target denotes state visible
+// outside the enclosing function: a field selection, a dereference, or
+// a package-level variable.
+func sharedLHS(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return sharedLHS(info, e.X)
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil {
+			return v.Parent() == v.Pkg().Scope()
+		}
+	}
+	return false
+}
+
+// baseObject resolves the variable at the base of an assignable
+// expression (x, x[i], x.f → x's object), or nil when the base is not a
+// simple identifier.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isWriterFunc reports whether fn emits bytes whose order the caller
+// observes: the fmt print family, Write* methods (io.Writer
+// implementations, strings.Builder, bytes.Buffer, bufio.Writer), and
+// json.Encoder.Encode.
+func isWriterFunc(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return fn.Type().(*types.Signature).Recv() != nil
+	case "Encode":
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return types.TypeString(recv.Type(), nil) == "*encoding/json.Encoder"
+		}
+	}
+	return false
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

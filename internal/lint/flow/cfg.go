@@ -1,0 +1,367 @@
+// Package flow is the flow-analysis layer under rampvet's analyzers: a
+// per-function control-flow graph builder (this file) and a
+// package-level call graph with interprocedural reachability queries
+// (flow.go). Like the rest of internal/lint it is built on the standard
+// library only — go/ast and go/types — reimplementing the slice of
+// golang.org/x/tools/go/cfg and /callgraph that RAMP's analyzers need.
+//
+// The CFG is statement-granular and pragmatic rather than SSA-precise:
+// it exists so analyzers can ask structural questions — "which
+// statements execute inside this loop?", "is there a back edge here?",
+// "does any block of this loop contain a cancellation check?" — without
+// every analyzer re-deriving loop extents from raw syntax. Function
+// literals are deliberately *not* inlined into the enclosing CFG; a
+// closure runs on its own schedule (possibly a different goroutine), so
+// each analyzer decides explicitly whether to descend into one.
+package flow
+
+import "go/ast"
+
+// Block is one basic block: a maximal run of nodes that execute
+// together, plus the control-flow successors. Nodes holds leaf
+// statements and the control expressions of compound statements (an
+// if's condition, a range's operand); the branches of compound
+// statements live in their own blocks.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// addSucc appends s to b's successors (deduplicated).
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// Loop is one natural loop of the function: the for/range statement,
+// its header block (the back-edge target holding the condition or range
+// operand), and every block that executes under the loop — including
+// the blocks of nested loops.
+type Loop struct {
+	Stmt   ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	Header *Block
+	Blocks []*Block
+}
+
+// Contains reports whether pred matches any node inside any block of
+// the loop (the walk descends into nested expressions and statements
+// via ast.Inspect, including function literals — callers that want to
+// exclude closures check for *ast.FuncLit in pred).
+func (l *Loop) Contains(pred func(ast.Node) bool) bool {
+	found := false
+	for _, b := range l.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if found || m == nil {
+					return false
+				}
+				if pred(m) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	Loops  []*Loop
+}
+
+// Build constructs the CFG of a function (or function literal) body.
+// A nil body (declaration without body) yields an empty graph.
+func Build(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, labels: map[string]*labelTarget{}}
+	c.Entry = b.newBlock()
+	b.cur = c.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	return c
+}
+
+// labelTarget records where a labeled break/continue lands.
+type labelTarget struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	breakTo    *Block
+	continueTo *Block
+	fallNext   *Block  // next case block, the target of a fallthrough
+	loops      []*Loop // enclosing loops, innermost last
+	labels     map[string]*labelTarget
+	// pendingLabel names the label attached to the next loop/switch
+	// statement, so `break L` / `continue L` resolve to it.
+	pendingLabel string
+}
+
+// newBlock creates a block, registering it with every enclosing loop.
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	for _, l := range b.loops {
+		l.Blocks = append(l.Blocks, blk)
+	}
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt extends the graph with one statement.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.branch(s)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		cond.addSucc(thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.cur.addSucc(after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			cond.addSucc(elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.cur.addSucc(after)
+		} else {
+			cond.addSucc(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		header := b.newBlock()
+		if s.Cond != nil {
+			header.Nodes = append(header.Nodes, s.Cond)
+		}
+		b.cur.addSucc(header)
+		after := b.newBlock()
+		if s.Cond != nil {
+			header.addSucc(after) // condition false exits
+		}
+		loop := &Loop{Stmt: s, Header: header, Blocks: []*Block{header}}
+		b.cfg.Loops = append(b.cfg.Loops, loop)
+		b.inLoop(loop, after, func() {
+			post := header
+			if s.Post != nil {
+				post = b.newBlock()
+				post.Nodes = append(post.Nodes, s.Post)
+				post.addSucc(header)
+			}
+			b.continueTo = post
+			body := b.newBlock()
+			header.addSucc(body)
+			b.cur = body
+			b.stmtList(s.Body.List)
+			b.cur.addSucc(post) // back edge (possibly via post)
+		})
+		b.cur = after
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		header.Nodes = append(header.Nodes, s.X)
+		b.cur.addSucc(header)
+		after := b.newBlock()
+		header.addSucc(after) // range exhausted
+		loop := &Loop{Stmt: s, Header: header, Blocks: []*Block{header}}
+		b.cfg.Loops = append(b.cfg.Loops, loop)
+		b.inLoop(loop, after, func() {
+			body := b.newBlock()
+			header.addSucc(body)
+			b.cur = body
+			b.stmtList(s.Body.List)
+			b.cur.addSucc(header) // back edge
+		})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		// The type-switch guard (x := y.(type)) evaluates before any
+		// case; record it in the dispatch block.
+		if s.Assign != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		}
+		b.switchLike(s.Init, nil, s.Body)
+
+	case *ast.SelectStmt:
+		dispatch := b.cur
+		after := b.newBlock()
+		label := b.takeLabel(after, nil)
+		oldBreak := b.breakTo
+		b.breakTo = after
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			caseB := b.newBlock()
+			dispatch.addSucc(caseB)
+			b.cur = caseB
+			if comm.Comm != nil {
+				b.cur.Nodes = append(b.cur.Nodes, comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.cur.addSucc(after)
+		}
+		b.breakTo = oldBreak
+		b.releaseLabel(label)
+		b.cur = after
+
+	default:
+		// Leaf statements: assignments, declarations, expression
+		// statements, go/defer/send/incdec/empty.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchLike builds switch and type-switch bodies.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	if init != nil {
+		b.cur.Nodes = append(b.cur.Nodes, init)
+	}
+	if tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, tag)
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	label := b.takeLabel(after, nil)
+	oldBreak := b.breakTo
+	b.breakTo = after
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseB := b.newBlock()
+		dispatch.addSucc(caseB)
+		for _, e := range cc.List {
+			caseB.Nodes = append(caseB.Nodes, e)
+		}
+		caseBlocks = append(caseBlocks, caseB)
+	}
+	for i, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		// fallthrough edges are wired by branch() via fallNext.
+		if i+1 < len(caseBlocks) {
+			b.fallNext = caseBlocks[i+1]
+		} else {
+			b.fallNext = after
+		}
+		b.stmtList(cc.Body)
+		b.cur.addSucc(after)
+	}
+	b.fallNext = nil
+	if !hasDefault {
+		dispatch.addSucc(after)
+	}
+	b.breakTo = oldBreak
+	b.releaseLabel(label)
+	b.cur = after
+}
+
+// inLoop runs f with break/continue targets bound to the loop. f may
+// retarget continueTo once it has created a post block.
+func (b *cfgBuilder) inLoop(loop *Loop, after *Block, f func()) {
+	oldBreak, oldCont := b.breakTo, b.continueTo
+	b.breakTo = after
+	b.continueTo = loop.Header
+	label := b.takeLabel(after, loop.Header)
+	b.loops = append(b.loops, loop)
+	f()
+	b.loops = b.loops[:len(b.loops)-1]
+	b.releaseLabel(label)
+	b.breakTo, b.continueTo = oldBreak, oldCont
+}
+
+// takeLabel binds the pending label (if any) to the given targets.
+func (b *cfgBuilder) takeLabel(breakTo, continueTo *Block) string {
+	name := b.pendingLabel
+	if name != "" {
+		b.labels[name] = &labelTarget{breakTo: breakTo, continueTo: continueTo}
+		b.pendingLabel = ""
+	}
+	return name
+}
+
+func (b *cfgBuilder) releaseLabel(name string) {
+	if name != "" {
+		delete(b.labels, name)
+	}
+}
+
+// branch wires a break/continue/fallthrough edge. goto is treated as
+// terminating (no edge): the repo contains none, and a missing edge
+// only makes queries conservative.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	var target *Block
+	switch s.Tok.String() {
+	case "break":
+		target = b.breakTo
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil {
+				target = lt.breakTo
+			}
+		}
+	case "continue":
+		target = b.continueTo
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.continueTo != nil {
+				target = lt.continueTo
+			}
+		}
+	case "fallthrough":
+		target = b.fallNext
+	}
+	if target != nil {
+		b.cur.addSucc(target)
+	}
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ramp/internal/lint/flow"
+)
+
+// HotAlloc flags allocation sources inside functions marked with a
+// `//ramp:hot` doc-comment directive.
+//
+// The directive marks the per-epoch hot path — the fixed-point loop,
+// power and thermal evaluation, FIT accumulation — where the ROADMAP's
+// allocation-free-evaluate target demands zero allocations per
+// operation. Go's escape analysis is opaque at review time; this check
+// makes the allocation sources themselves visible so they are hoisted
+// into reusable state or consciously justified:
+//
+//   - map, slice and pointer composite literals (&T{...});
+//   - make, new and append (growth reallocates);
+//   - function literals (closures capture and escape);
+//   - explicit conversions to interface types (boxing);
+//   - fmt.Sprint/Sprintf/Sprintln (allocate their result and box
+//     every operand).
+//
+// Failure paths are exempt: allocation inside a panic(...) argument or
+// a fmt.Errorf/errors.New call happens only when the hot loop is
+// already dead. Everything else takes a `//rampvet:ignore hotalloc`
+// with justification or loses the //ramp:hot marking.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation sources (composite literals, make/new/append, closures, interface boxing, fmt.Sprint*) in //ramp:hot functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	g := flow.BuildGraph(pass.Files, pass.Info)
+	for _, fi := range g.Decls {
+		if !fi.Hot || fi.Decl.Body == nil {
+			continue
+		}
+		checkHotBody(pass, fi.Decl.Body)
+	}
+	return nil
+}
+
+// checkHotBody reports allocation sources in one hot function body,
+// skipping failure-path subtrees.
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isFailurePathCall(pass, n) {
+				return false // allocation on a dead hot path is fine
+			}
+			reportCallAlloc(pass, n)
+		case *ast.CompositeLit:
+			reportCompositeAlloc(pass, n)
+		case *ast.UnaryExpr:
+			// &T{...} allocates wherever the pointer escapes.
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "pointer composite literal allocates in //ramp:hot function; hoist into reusable state")
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal in //ramp:hot function captures and allocates; hoist the closure out of the hot path")
+			return false // the closure body runs elsewhere
+		}
+		return true
+	})
+}
+
+// isFailurePathCall reports whether call is panic(...) or an error
+// constructor — the subtrees hotalloc exempts.
+func isFailurePathCall(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return true // the builtin, not a shadowing function
+		}
+	}
+	return isPkgFunc(pass.Info, call, "fmt", "Errorf") ||
+		isPkgFunc(pass.Info, call, "errors", "New")
+}
+
+// reportCallAlloc flags allocating calls: make, new, append, the
+// fmt.Sprint family, and explicit conversions to interface types.
+func reportCallAlloc(pass *Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltinUse := pass.Info.Uses[id].(*types.Builtin); isBuiltinUse {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in //ramp:hot function allocates; hoist the buffer into reusable state")
+			case "new":
+				pass.Reportf(call.Pos(), "new in //ramp:hot function allocates; hoist into reusable state")
+			case "append":
+				pass.Reportf(call.Pos(), "append in //ramp:hot function may grow and reallocate; preallocate outside the hot path")
+			}
+			return
+		}
+	}
+	for _, name := range []string{"Sprint", "Sprintf", "Sprintln"} {
+		if isPkgFunc(pass.Info, call, "fmt", name) {
+			pass.Reportf(call.Pos(), "fmt.%s in //ramp:hot function allocates its result and boxes operands; precompute or log off the hot path", name)
+			return
+		}
+	}
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if argT := pass.TypeOf(call.Args[0]); argT != nil && !types.IsInterface(argT) {
+				pass.Reportf(call.Pos(), "conversion to interface type %s in //ramp:hot function boxes the value; keep hot-path data concrete", types.TypeString(tv.Type, nil))
+			}
+		}
+	}
+}
+
+// reportCompositeAlloc flags map and slice composite literals, which
+// always allocate; array and struct value literals live on the stack.
+func reportCompositeAlloc(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in //ramp:hot function allocates; hoist into reusable state")
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in //ramp:hot function allocates; hoist into reusable state")
+	}
+}

@@ -4,19 +4,28 @@
 // stdlib-only rule rules out golang.org/x/tools/go/analysis, so this
 // package reimplements the slice of it RAMP needs).
 //
-// The framework has three parts:
+// The framework has four parts:
 //
 //   - Analyzer: a named check with a Run function over a type-checked
-//     package (this file).
+//     package (this file), plus the baseline/grandfathering machinery
+//     (baseline.go) the CI gate runs against.
 //   - Loader: resolves "./..."-style patterns to module packages,
 //     parses them with build-constraint filtering, and type-checks them
-//     with a stdlib-only importer chain (load.go).
-//   - The domain analyzers (floatcmp.go, unitsafety.go, expguard.go,
-//     seeddet.go, errdrop.go, obsguard.go): checks specific to
-//     lifetime-reliability arithmetic and this repo's conventions —
+//     with a stdlib-only importer chain (load.go). Analysis fans out
+//     across packages with a deterministic merge (RunConfigured).
+//   - flow (internal/lint/flow): per-function control-flow graphs and
+//     a package-level call graph with interprocedural reachability —
+//     the engine under the flow-aware analyzers.
+//   - The domain analyzers. Per-statement pattern checks (floatcmp.go,
+//     unitsafety.go, expguard.go, seeddet.go, errdrop.go, obsguard.go):
 //     float equality, Celsius-into-Kelvin constants, unguarded
 //     Arrhenius denominators, non-deterministic RNG seeding, dropped
 //     errors, and raw stderr prints bypassing the structured logger.
+//     Flow-aware checks (detmap.go, ctxflow.go, hotalloc.go,
+//     goroleak.go): map iteration order leaking into output or
+//     floating-point accumulation, severed context cancellation chains,
+//     allocation sources on //ramp:hot paths, and unjoinable
+//     goroutines.
 //
 // cmd/rampvet is the command-line driver; analyzer golden tests live in
 // lint_test.go against fixtures under testdata/src.
@@ -78,7 +87,9 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order. The first six
+// are per-statement pattern checks; the last four are flow-aware,
+// built on the internal/lint/flow CFG and call-graph engine.
 func All() []*Analyzer {
 	return []*Analyzer{
 		FloatCmp,
@@ -87,6 +98,10 @@ func All() []*Analyzer {
 		SeedDet,
 		ErrDrop,
 		ObsGuard,
+		DetMap,
+		CtxFlow,
+		HotAlloc,
+		GoroLeak,
 	}
 }
 

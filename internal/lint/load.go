@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked module package.
@@ -50,27 +51,50 @@ type Loader struct {
 // NewLoader builds a loader for the module containing dir (found by
 // walking up to go.mod).
 func NewLoader(dir string) (*Loader, error) {
+	return NewLoaderWithTags(dir)
+}
+
+// NewLoaderWithTags is NewLoader with extra build tags enabled on top
+// of the default GOOS/GOARCH/gc set — e.g. "rampdebug" to analyze the
+// runtime-invariant implementation files the default build excludes.
+// Analyzers always see exactly the tree the compiler would build under
+// the same tags.
+func NewLoaderWithTags(dir string, extraTags ...string) (*Loader, error) {
 	root, modPath, err := findModule(dir)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
+	tags := map[string]bool{
+		runtime.GOOS:   true,
+		runtime.GOARCH: true,
+		"gc":           true,
+	}
+	for _, t := range extraTags {
+		if t != "" {
+			tags[t] = true
+		}
+	}
 	return &Loader{
 		ModuleRoot: root,
 		ModulePath: modPath,
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       map[string]*Package{},
-		tags: map[string]bool{
-			runtime.GOOS:   true,
-			runtime.GOARCH: true,
-			"gc":           true,
-		},
+		tags:       tags,
 	}, nil
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root directory and module path.
+// FindModuleRoot returns the root directory of the module containing
+// dir (the directory holding go.mod). The rampvet driver uses it to
+// resolve the default baseline path before any package is loaded.
+func FindModuleRoot(dir string) (string, error) {
+	root, _, err := findModule(dir)
+	return root, err
+}
+
 func findModule(dir string) (root, modPath string, err error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -282,10 +306,31 @@ func (l *Loader) ResolvePatterns(dir string, patterns []string) ([]string, error
 	return out, nil
 }
 
+// Config controls a whole-module analysis run.
+type Config struct {
+	// Tags are extra build tags (e.g. "rampdebug") applied during
+	// loading, so analyzers see the same tree the compiler would.
+	Tags []string
+	// Workers bounds the per-package analysis parallelism; <= 0 means
+	// GOMAXPROCS. Loading/type-checking stays sequential (the loader's
+	// package cache is shared), but analyzer execution — the AST
+	// walks, CFG and call-graph construction — fans out per package.
+	Workers int
+}
+
 // Run loads every package matched by patterns (relative to dir) and
-// applies the analyzers, returning all diagnostics sorted by position.
+// applies the analyzers with default configuration, returning all
+// diagnostics sorted by position.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	l, err := NewLoader(dir)
+	return RunConfigured(Config{}, dir, patterns, analyzers)
+}
+
+// RunConfigured is Run with explicit tags and parallelism. Packages
+// are analyzed concurrently and the per-package results merged in a
+// deterministic order (the final sort is by position, so the output is
+// identical regardless of worker count or completion order).
+func RunConfigured(cfg Config, dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := NewLoaderWithTags(dir, cfg.Tags...)
 	if err != nil {
 		return nil, err
 	}
@@ -293,17 +338,43 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	if err != nil {
 		return nil, err
 	}
+	pkgs := make([]*Package, len(dirs))
+	for i, d := range dirs {
+		if pkgs[i], err = l.LoadDir(d); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(pkgs))
+	perPkg := make([][]Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i], errs[i] = RunAnalyzers(pkgs[i], analyzers)
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
 	var all []Diagnostic
-	for _, d := range dirs {
-		pkg, err := l.LoadDir(d)
-		if err != nil {
-			return nil, err
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, diags...)
+		all = append(all, perPkg[i]...)
 	}
 	sortDiagnostics(all)
 	return all, nil

@@ -1,0 +1,96 @@
+package detmap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Positive cases: map iteration order reaching an order-sensitive sink.
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order reaches floating-point accumulation`
+		total += v
+	}
+	return total
+}
+
+func buildString(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration order reaches string accumulation`
+		out += k
+	}
+	return out
+}
+
+func printAll(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output via fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// accumulator holds shared floating-point state; observe accumulates
+// into it, so calling observe per map entry is order-sensitive even
+// though the loop body itself contains no arithmetic.
+type accumulator struct{ sum float64 }
+
+func (a *accumulator) observe(v float64) { a.sum += v }
+
+func interprocedural(a *accumulator, m map[string]float64) {
+	for _, v := range m { // want `map iteration order reaches an order-sensitive sink through observe`
+		a.observe(v)
+	}
+}
+
+// emit reaches a writer two hops down the call graph.
+func emit(w io.Writer, k string) { emitInner(w, k) }
+
+func emitInner(w io.Writer, k string) { fmt.Fprintln(w, k) }
+
+func transitiveWriter(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration order reaches an order-sensitive sink through emit`
+		emit(w, k)
+	}
+}
+
+// Negative cases.
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collecting keys for sorting: order cannot escape
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func countEntries(m map[string]float64) int {
+	n := 0
+	for range m { // integer counting is order-independent
+		n++
+	}
+	return n
+}
+
+func localAccumulation(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		sum := 0.0
+		for _, v := range vs { // inner accumulator is loop-local: ok
+			sum += v
+		}
+		out = append(out, sum)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func suppressed(m map[string]float64) float64 {
+	var total float64
+	//rampvet:ignore detmap -- commutative test data, drift is acceptable here
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

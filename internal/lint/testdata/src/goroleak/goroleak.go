@@ -1,0 +1,106 @@
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func poll()        {}
+func sideEffect(n int) {}
+
+// Positive cases.
+
+func detached() {
+	go func() { // want `goroutine has no ctx/done-channel/WaitGroup escape route`
+		for i := 0; i < 10; i++ {
+			poll()
+		}
+	}()
+}
+
+// spin loops forever touching nothing; spawning it is flagged at the
+// go statement via the call graph (the body lives elsewhere).
+func spin() {
+	for i := 0; ; i++ {
+		sideEffect(i)
+	}
+}
+
+func detachedNamed() {
+	go spin() // want `goroutine has no ctx/done-channel/WaitGroup escape route`
+}
+
+func joinableButInfinite(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for { // want `unbounded for loop in goroutine has no channel operation or ctx check`
+			poll()
+		}
+	}()
+}
+
+// Negative cases.
+
+func withContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+func withDoneChannel(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				poll()
+			}
+		}
+	}()
+}
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			poll()
+		}
+	}()
+}
+
+// worker drains a channel; range over a channel ends when the parent
+// closes it.
+func worker(jobs chan int) {
+	for j := range jobs {
+		sideEffect(j)
+	}
+}
+
+func withChannelHandoff(jobs chan int) {
+	go worker(jobs)
+}
+
+func errHandoff(run func() error) chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }() // terminates with the handoff send: ok
+	return errc
+}
+
+func suppressed() {
+	//rampvet:ignore goroleak -- process-lifetime background ticker, dies with the process by design
+	go func() {
+		for i := 0; i < 1000; i++ {
+			poll()
+		}
+	}()
+}

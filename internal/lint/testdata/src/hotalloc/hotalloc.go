@@ -1,0 +1,90 @@
+package hotalloc
+
+import (
+	"fmt"
+	"math"
+)
+
+// state is the reusable hot-path scratch a well-behaved kernel uses.
+type state struct {
+	buf  [64]float64
+	temp float64
+}
+
+// Positive cases: allocation sources inside //ramp:hot functions.
+
+// step advances one epoch.
+//
+//ramp:hot
+func step(s *state, xs []float64) float64 {
+	scratch := make([]float64, len(xs)) // want `make in //ramp:hot function allocates`
+	for i, x := range xs {
+		scratch[i] = x * 2
+	}
+	weights := []float64{0.25, 0.5, 0.25} // want `slice literal in //ramp:hot function allocates`
+	total := 0.0
+	for i := range scratch {
+		total += scratch[i] * weights[i%3]
+	}
+	return total
+}
+
+//ramp:hot
+func label(i int) string {
+	return fmt.Sprintf("epoch-%d", i) // want `fmt.Sprintf in //ramp:hot function allocates`
+}
+
+//ramp:hot
+func accumulate(dst []float64, x float64) []float64 {
+	return append(dst, x) // want `append in //ramp:hot function may grow and reallocate`
+}
+
+//ramp:hot
+func capture(s *state) func() float64 {
+	return func() float64 { return s.temp } // want `function literal in //ramp:hot function captures`
+}
+
+//ramp:hot
+func box(x float64) any {
+	return any(x) // want `conversion to interface type .* boxes the value`
+}
+
+//ramp:hot
+func fresh() *state {
+	return &state{} // want `pointer composite literal allocates in //ramp:hot function`
+}
+
+// Negative cases.
+
+//ramp:hot
+func pureMath(s *state, x float64) float64 {
+	s.temp = math.Exp(-x) // value arithmetic on reusable state: ok
+	var local [8]float64  // array value lives on the stack: ok
+	for i := range local {
+		local[i] = x + float64(i)
+	}
+	return s.temp + local[3]
+}
+
+//ramp:hot
+func failurePath(x float64) (float64, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("negative input %v", x) // error path: exempt
+	}
+	if math.IsNaN(x) {
+		panic(fmt.Sprintf("NaN input %v", x)) // panic path: exempt
+	}
+	return math.Sqrt(x), nil
+}
+
+// coldSetup is not marked hot; it may allocate freely.
+func coldSetup(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+//ramp:hot
+func suppressed(n int) []float64 {
+	//rampvet:ignore hotalloc -- one-time warmup allocation, amortized across the run
+	return make([]float64, n)
+}

@@ -83,6 +83,8 @@ func (m *Model) MaxDynamic() Vector { return m.maxDyn }
 
 // Dynamic returns structure s's dynamic power (W) at the given activity
 // factor, operating point, and powered-on fraction.
+//
+//ramp:hot
 func (m *Model) Dynamic(s floorplan.Structure, activity, vddV, freqHz, onFrac float64) float64 {
 	if activity < 0 || activity > 1 {
 		panic(fmt.Sprintf("power: activity %v out of [0,1] for %v", activity, s))
@@ -98,6 +100,8 @@ func (m *Model) Dynamic(s floorplan.Structure, activity, vddV, freqHz, onFrac fl
 // with the given powered-on fraction. The exponential temperature model
 // follows Section 6.3; leakage also scales with V²/V² relative to nominal
 // to first order, which we fold in for DVS operating points.
+//
+//ramp:hot
 func (m *Model) Leakage(s floorplan.Structure, tempK, vddV, onFrac float64) float64 {
 	area := m.fp.AreaMM2(s)
 	vr := vddV / m.tech.VddNominal
@@ -115,6 +119,8 @@ func (m *Model) Leakage(s floorplan.Structure, tempK, vddV, onFrac float64) floa
 // activity holds per-structure activity factors; temps per-structure
 // temperatures (K); on per-structure powered-on fractions (use Ones() for
 // the base machine).
+//
+//ramp:hot
 func (m *Model) Compute(activity, on Vector, temps Vector, vddV, freqHz float64) Vector {
 	var out Vector
 	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {

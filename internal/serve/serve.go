@@ -163,6 +163,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	default:
 	}
 
+	// The goroutine terminates exactly when Serve returns — on listener
+	// failure or on the Shutdown below — handing its result off through
+	// the buffered channel either way (goroleak: the send is its escape
+	// route).
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

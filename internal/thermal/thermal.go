@@ -264,6 +264,8 @@ func (m *Model) SinkSteadyTemp(totalPowerW float64) float64 {
 // This is the innermost call of every evaluation (once per leakage
 // iteration per epoch); against the pre-factorized system it performs no
 // assembly, no elimination, and no heap allocation.
+//
+//ramp:hot
 func (m *Model) QuasiSteady(blockPower power.Vector, sinkTempK float64) power.Vector {
 	n := m.n - 1 // exclude the pinned sink
 	var b, x [numNodes]float64
@@ -373,6 +375,8 @@ func (st *State) SpreaderTemp() float64 { return st.temps[st.m.spreaderIndex()] 
 func (st *State) Temps() []float64 { return append([]float64(nil), st.temps...) }
 
 // MaxBlock returns the hottest block and its temperature.
+//
+//ramp:hot
 func MaxBlock(t power.Vector) (floorplan.Structure, float64) {
 	best := floorplan.Structure(0)
 	maxT := math.Inf(-1)
@@ -443,6 +447,8 @@ func (f *lu) factorize(n int, a []float64) error {
 // solveInto writes A⁻¹·b into x (len n each) with two triangular
 // substitutions. It performs no allocation; b is not modified unless x
 // aliases it.
+//
+//ramp:hot
 func (f *lu) solveInto(x, b []float64) {
 	n := f.n
 	a := f.a

@@ -48,7 +48,11 @@ lane "fuzz trace" go test -fuzz FuzzTraceGenerator -fuzztime 5s -run '^$' ./inte
 lane "fuzz cachekey" go test -fuzz FuzzCacheKey -fuzztime 5s -run '^$' ./internal/exp/
 lane "smoke" ./scripts/smoke.sh
 lane "obscheck" ./scripts/obscheck.sh
-lane "rampvet" go run ./cmd/rampvet ./...
+# The domain linter runs against the committed baseline: grandfathered
+# findings pass, anything fresh fails the lane. Regenerate the file with
+# `go run ./cmd/rampvet -write-baseline ./...` only when grandfathering
+# is the deliberate choice; the default fix is the code.
+lane "rampvet" go run ./cmd/rampvet -baseline .rampvet-baseline ./...
 
 if [ "${failures}" -ne 0 ]; then
 	echo "${failures} lane(s) failed" >&2

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# lintstats.sh — per-analyzer finding counts for the rampvet suite.
+#
+# Runs every analyzer over the whole module and prints one line per
+# analyzer with its raw finding count (before baseline filtering), so a
+# grandfathering burn-down is a diff of two runs of this script. Extra
+# arguments are passed through to rampvet (e.g. -tags rampdebug, or a
+# package pattern narrower than ./...).
+set -eu
+cd "$(dirname "$0")/.."
+
+# -lint-stats prints counts to stderr and findings to stdout; the counts
+# are the product here, so keep stderr and drop the finding listing.
+# rampvet exits 1 when fresh findings exist — still a successful stats
+# run, so tolerate it (but not exit 2: usage/load errors must fail).
+status=0
+go run ./cmd/rampvet -lint-stats "$@" ./... >/dev/null || status=$?
+if [ "${status}" -gt 1 ]; then
+	exit "${status}"
+fi
