@@ -70,6 +70,12 @@ type Controller struct {
 	// speeds up (hysteresis band: speed up under Headroom*target, slow
 	// down above target).
 	Headroom float64
+
+	// scratch is the engine intervalFIT resets and reuses every epoch;
+	// its budget depends only on Qual, which is fixed per controller. A
+	// Controller is not safe for concurrent Run calls (Run itself is a
+	// single stateful control loop), so one scratch engine suffices.
+	scratch *core.Engine
 }
 
 // NewController returns a reactive controller with sensible defaults.
@@ -129,7 +135,12 @@ func (c *Controller) Run(app trace.Profile, epochs int) (ControlTrace, error) {
 	}
 
 	on := power.Ones() // reactive control here scales V/f only
-	tr := ControlTrace{Policy: c.Policy}
+	tr := ControlTrace{
+		Policy:   c.Policy,
+		FreqGHz:  make([]float64, 0, epochs),
+		EpochFIT: make([]float64, 0, epochs),
+		CumFIT:   make([]float64, 0, epochs),
+	}
 	freq := proc.FreqHz
 	sinkK := env.Tech.AmbientK + 25 // adapts from the running power average
 	var wSum, tSum float64
@@ -224,11 +235,20 @@ func (c *Controller) Run(app trace.Profile, epochs int) (ControlTrace, error) {
 }
 
 // intervalFIT computes the FIT value this one interval would have if
-// sustained forever (the instantaneous control signal).
+// sustained forever (the instantaneous control signal). The scratch
+// engine is built once and reset per call, so the per-epoch control
+// path allocates nothing here.
 func (c *Controller) intervalFIT(iv core.Interval) (float64, error) {
-	e, err := core.NewEngine(c.Env.FP, c.Env.Params, c.Qual)
-	if err != nil {
-		return 0, err
+	e := c.scratch
+	if e == nil {
+		var err error
+		e, err = core.NewEngine(c.Env.FP, c.Env.Params, c.Qual)
+		if err != nil {
+			return 0, err
+		}
+		c.scratch = e
+	} else {
+		e.Reset()
 	}
 	if err := e.Observe(iv); err != nil {
 		return 0, err

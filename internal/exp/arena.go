@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"sync"
+
+	"ramp/internal/config"
+	"ramp/internal/sim"
+	"ramp/internal/trace"
+)
+
+// evalArena is the per-worker scratch state of one uncached evaluation:
+// a pooled simulator core, one trace generator per application profile,
+// and a reusable epoch-row buffer. Arenas live in the Env's sync.Pool,
+// so concurrent EvaluateAll workers each hold their own arena and the
+// buffers are reused — not reallocated — across the hundreds of
+// evaluations of a sweep.
+//
+// Aliasing rules:
+//
+//   - Everything in the arena is scratch owned by exactly one in-flight
+//     evaluate call; nothing here may be referenced by a returned or
+//     cached Result.
+//   - The epoch rows the evaluation pipeline fills are arena scratch;
+//     the Result (and therefore the cache) receives a compact copy, so
+//     cached Result.Epochs have no live aliases and stay valid forever.
+//     Callers (and Requalify) must still treat them as read-only.
+//   - Generators are keyed by profile name: within one Env, equal names
+//     must mean equal profiles — the same assumption the evaluation
+//     cache already makes by keying on app.Name.
+type evalArena struct {
+	core *sim.Core
+	gens map[string]*trace.Generator
+	rows []EpochRow
+}
+
+// getArena pops an arena from the Env's pool, building one on first use
+// (the pool's zero value needs no constructor).
+func (e *Env) getArena() *evalArena {
+	if a, _ := e.arenas.Get().(*evalArena); a != nil {
+		return a
+	}
+	return &evalArena{gens: make(map[string]*trace.Generator)}
+}
+
+// putArena returns an arena to the pool once its evaluation finished.
+func (e *Env) putArena(a *evalArena) { e.arenas.Put(a) }
+
+// generator returns a generator for app positioned at the start of its
+// stream: the pooled one reset in place when this arena has evaluated
+// app before (allocation-free), a fresh one otherwise.
+//
+//ramp:hot
+func (a *evalArena) generator(app trace.Profile, seed int64) (*trace.Generator, error) {
+	if g := a.gens[app.Name]; g != nil {
+		if err := g.Reset(app, seed); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	g, err := trace.NewGenerator(app, seed)
+	if err != nil {
+		return nil, err
+	}
+	a.gens[app.Name] = g
+	return g, nil
+}
+
+// coreFor returns a simulator core for (proc, gen): the pooled one
+// reset in place when the arena has one (reusing every buffer whose
+// shape matches proc), a fresh one on first use.
+//
+//ramp:hot
+func (a *evalArena) coreFor(proc config.Proc, gen sim.Source) (*sim.Core, error) {
+	if a.core != nil {
+		if err := a.core.Reset(proc, gen); err != nil {
+			return nil, err
+		}
+		return a.core, nil
+	}
+	c, err := sim.New(proc, gen)
+	if err != nil {
+		return nil, err
+	}
+	a.core = c
+	return c, nil
+}
+
+// epochRows returns a zeroed n-row scratch slice backed by the arena.
+// The rows are valid only until the evaluation returns; results must
+// copy them (see the aliasing rules above).
+//
+//ramp:hot
+func (a *evalArena) epochRows(n int) []EpochRow {
+	if cap(a.rows) < n {
+		a.grow(n)
+	}
+	rows := a.rows[:n]
+	clear(rows)
+	return rows
+}
+
+// grow is epochRows' cold path, split out so the hot path stays free of
+// allocation sites.
+func (a *evalArena) grow(n int) { a.rows = make([]EpochRow, n) }
+
+// arenaPool is the Env field type; a named type keeps the Env struct
+// declaration readable.
+type arenaPool = sync.Pool

@@ -126,6 +126,12 @@ type Env struct {
 	// sweep, overlapping Arch/DVS/ArchDVS candidate sets, repeated
 	// figure regenerations — simulate each distinct point once.
 	cache evalCache
+
+	// arenas pools per-worker evaluation scratch — simulator core,
+	// per-profile generators, epoch-row buffer — so steady-state
+	// evaluations reuse buffers instead of reallocating them (see
+	// evalArena for the aliasing rules).
+	arenas arenaPool
 }
 
 // NewEnv builds the standard environment: 65 nm technology, Table 1 base
@@ -313,11 +319,13 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 	}
 	defer evalSpan.End()
 
-	gen, err := trace.NewGenerator(app, e.Opts.Seed)
+	ar := e.getArena()
+	defer e.putArena(ar)
+	gen, err := ar.generator(app, e.Opts.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	c, err := sim.New(proc, gen)
+	c, err := ar.coreFor(proc, gen)
 	if err != nil {
 		return Result{}, err
 	}
@@ -330,7 +338,7 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 		c.Run(e.Opts.WarmupInstrs)
 		ws.End()
 	}
-	epochs := make([]EpochRow, e.Opts.Epochs)
+	epochs := ar.epochRows(e.Opts.Epochs)
 	for i := range epochs {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
@@ -423,7 +431,9 @@ func (e *Env) evaluate(ctx context.Context, app trace.Profile, proc config.Proc,
 		return Result{}, err
 	}
 	as.End()
-	res.Epochs = epochs
+	// The rows filled above are arena scratch; the Result — and through
+	// it the cache — gets one compact copy it owns forever.
+	res.Epochs = append([]EpochRow(nil), epochs...)
 	e.obs.evaluations.Inc()
 	e.obs.evalUS.Observe(time.Since(evalStart).Microseconds())
 	return res, nil

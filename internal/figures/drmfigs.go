@@ -45,7 +45,13 @@ func Figure2(e *exp.Env, apps []trace.Profile, stepHz float64) ([]Figure2Row, er
 		if err != nil {
 			return nil, err
 		}
-		row := Figure2Row{App: app.Name}
+		row := Figure2Row{
+			App:        app.Name,
+			RelPerf:    make([]float64, 0, len(Figure2TqualsK)),
+			Feasible:   make([]bool, 0, len(Figure2TqualsK)),
+			ChosenGHz:  make([]float64, 0, len(Figure2TqualsK)),
+			ChosenArch: make([]string, 0, len(Figure2TqualsK)),
+		}
 		for _, tq := range Figure2TqualsK {
 			choice, err := sweep.Select(e, e.Qualification(tq))
 			if err != nil {
@@ -101,13 +107,18 @@ func Figure3(e *exp.Env, app trace.Profile, stepHz float64) ([]Figure3Row, error
 	if stepHz > 0 {
 		oracle.FreqStepHz = stepHz
 	}
-	var rows []Figure3Row
-	for _, a := range []drm.Adaptation{drm.Arch, drm.DVS, drm.ArchDVS} {
+	adaptations := []drm.Adaptation{drm.Arch, drm.DVS, drm.ArchDVS}
+	rows := make([]Figure3Row, 0, len(adaptations))
+	for _, a := range adaptations {
 		sweep, err := oracle.Sweep(app, a)
 		if err != nil {
 			return nil, err
 		}
-		row := Figure3Row{Adaptation: a.String()}
+		row := Figure3Row{
+			Adaptation: a.String(),
+			RelPerf:    make([]float64, 0, len(Figure3TqualsK)),
+			Feasible:   make([]bool, 0, len(Figure3TqualsK)),
+		}
 		for _, tq := range Figure3TqualsK {
 			choice, err := sweep.Select(e, e.Qualification(tq))
 			if err != nil {
@@ -170,14 +181,20 @@ func Figure4(e *exp.Env, apps []trace.Profile, stepHz float64) ([]Figure4Row, er
 	if stepHz > 0 {
 		oracle.FreqStepHz = stepHz
 	}
-	var rows []Figure4Row
+	rows := make([]Figure4Row, 0, len(apps))
 	for _, app := range apps {
 		sweep, err := oracle.Sweep(app, drm.DVS)
 		if err != nil {
 			return nil, err
 		}
 		dtmSweep := &dtm.Sweep{App: app, Base: sweep.Base, Candidates: sweep.Candidates}
-		row := Figure4Row{App: app.Name}
+		row := Figure4Row{
+			App:        app.Name,
+			DRMFreqGHz: make([]float64, 0, len(Figure4TempsK)),
+			DTMFreqGHz: make([]float64, 0, len(Figure4TempsK)),
+			DRMPeakK:   make([]float64, 0, len(Figure4TempsK)),
+			DTMFit:     make([]float64, 0, len(Figure4TempsK)),
+		}
 		for _, t := range Figure4TempsK {
 			qual := e.Qualification(t)
 			drmChoice, err := sweep.Select(e, qual)

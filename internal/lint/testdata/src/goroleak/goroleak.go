@@ -5,7 +5,7 @@ import (
 	"sync"
 )
 
-func poll()        {}
+func poll()            {}
 func sideEffect(n int) {}
 
 // Positive cases.

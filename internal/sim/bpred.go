@@ -33,6 +33,17 @@ func NewBPred(tableBytes, rasEntries int) *BPred {
 	}
 }
 
+// Reset clears the counter table, the RAS and the accuracy counters,
+// restoring the predictor to its just-constructed state without
+// reallocating. RAS entries above rasTop are never consulted, so only
+// the top needs resetting for bit-identical behaviour.
+func (b *BPred) Reset() {
+	clear(b.counters)
+	b.rasTop = 0
+	b.lookups = 0
+	b.mispredicts = 0
+}
+
 // PredictBranch predicts the direction of a conditional branch at pc,
 // updates the table with the actual outcome, and reports whether the
 // prediction was correct.

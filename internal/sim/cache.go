@@ -45,6 +45,18 @@ func NewCache(cfg config.CacheConfig) *Cache {
 	}
 }
 
+// Reset invalidates every line and clears the access counters, restoring
+// the cache to its just-constructed state without reallocating. Tags and
+// LRU stamps of invalidated entries are left in place: lookups and
+// victim selection only consult them for valid entries, so subsequent
+// behaviour is bit-identical to a fresh cache.
+func (c *Cache) Reset() {
+	clear(c.valid)
+	c.stamp = 0
+	c.accesses = 0
+	c.misses = 0
+}
+
 // Line returns the line address (address with offset bits stripped).
 func (c *Cache) Line(addr uint64) uint64 { return addr >> c.setShift }
 
@@ -120,6 +132,13 @@ type mshrFile struct {
 
 func newMSHRFile(n int) *mshrFile {
 	return &mshrFile{max: n}
+}
+
+// reset empties the file (keeping its backing arrays) and re-sizes it.
+func (m *mshrFile) reset(n int) {
+	m.lines = m.lines[:0]
+	m.ready = m.ready[:0]
+	m.max = n
 }
 
 // prune drops entries whose fills have completed.

@@ -122,8 +122,13 @@ type Core struct {
 	cycle uint64
 	seq   uint64 // next sequence number to assign at fetch (first is 1)
 
-	// Fetch state.
-	fetchQ       []fetchedInstr
+	// Fetch queue: a fixed-capacity ring buffer (capacity fetchQCap).
+	// Fetched instructions are generated directly into the tail slot, so
+	// the fetch loop performs no allocation and no copying beyond the
+	// generator's own write.
+	fq           []fetchedInstr
+	fqHead       int
+	fqLen        int
 	fetchQCap    int
 	fetchBlocked uint64 // seq of unresolved mispredicted branch; 0 = none
 	fetchStallTo uint64 // cycle until which fetch is stalled (I-miss / redirect)
@@ -171,29 +176,93 @@ func (c *Core) Instrument(retired, cycles *obs.Counter) {
 
 // New builds a core for cfg running the given source's trace.
 func New(cfg config.Proc, gen Source) (*Core, error) {
-	if err := cfg.Validate(); err != nil {
+	c := &Core{}
+	if err := c.Reset(cfg, gen); err != nil {
 		return nil, err
 	}
-	c := &Core{
-		cfg:          cfg,
-		gen:          gen,
-		fetchQCap:    cfg.FetchWidth * (cfg.FrontLatency + 2),
-		bpred:        NewBPred(cfg.BPredBytes, cfg.RASEntries),
-		win:          make([]entry, cfg.WindowSize),
-		intBusyUntil: make([]uint64, cfg.IntALUs),
-		fpBusyUntil:  make([]uint64, cfg.FPUs),
-		l1d:          NewCache(cfg.L1D),
-		l1i:          NewCache(cfg.L1I),
-		l2:           NewCache(cfg.L2),
-		dMSHR:        newMSHRFile(cfg.L1D.MSHRs),
-		iMSHR:        newMSHRFile(cfg.L1I.MSHRs),
-		l2Cycles:     uint64(math.Ceil(cfg.L2.HitLatencySec * cfg.FreqHz)),
-		memCycles:    uint64(math.Ceil(cfg.MemLatencySec * cfg.FreqHz)),
-	}
-	for i := range c.hist {
-		c.hist[i] = 0 // everything "already finished" before the run
-	}
 	return c, nil
+}
+
+// Reset reinitialises the core in place for a (possibly different)
+// configuration and trace source, producing a core whose subsequent
+// behaviour is bit-identical to a freshly constructed one. Buffers are
+// reused whenever their shape is unchanged — the instruction window,
+// functional-unit trackers, fetch ring, caches, MSHR files and branch
+// predictor all keep their allocations across evaluations of different
+// applications and configurations — so pooled cores make steady-state
+// evaluation allocation-free. Observability counters attached with
+// Instrument survive a Reset (re-attach to change them).
+func (c *Core) Reset(cfg config.Proc, gen Source) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	old := c.cfg
+	c.cfg = cfg
+	c.gen = gen
+
+	c.cycle = 0
+	c.seq = 0
+	c.fetchBlocked = 0
+	c.fetchStallTo = 0
+	c.lastLine = 0
+	c.winHead = 0
+	c.winCount = 0
+	c.memQUsed = 0
+	c.retiredTotal = 0
+	c.c = counters{}
+	clear(c.hist[:]) // everything "already finished" before the run
+
+	c.fetchQCap = cfg.FetchWidth * (cfg.FrontLatency + 2)
+	if cap(c.fq) < c.fetchQCap {
+		c.fq = make([]fetchedInstr, c.fetchQCap)
+	}
+	c.fq = c.fq[:c.fetchQCap]
+	c.fqHead, c.fqLen = 0, 0
+
+	if c.bpred == nil || old.BPredBytes != cfg.BPredBytes || old.RASEntries != cfg.RASEntries {
+		c.bpred = NewBPred(cfg.BPredBytes, cfg.RASEntries)
+	} else {
+		c.bpred.Reset()
+	}
+	if len(c.win) != cfg.WindowSize {
+		c.win = make([]entry, cfg.WindowSize)
+	}
+	if len(c.intBusyUntil) != cfg.IntALUs {
+		c.intBusyUntil = make([]uint64, cfg.IntALUs)
+	} else {
+		clear(c.intBusyUntil)
+	}
+	if len(c.fpBusyUntil) != cfg.FPUs {
+		c.fpBusyUntil = make([]uint64, cfg.FPUs)
+	} else {
+		clear(c.fpBusyUntil)
+	}
+	c.l1d = resetCache(c.l1d, old.L1D, cfg.L1D)
+	c.l1i = resetCache(c.l1i, old.L1I, cfg.L1I)
+	c.l2 = resetCache(c.l2, old.L2, cfg.L2)
+	if c.dMSHR == nil {
+		c.dMSHR = newMSHRFile(cfg.L1D.MSHRs)
+	} else {
+		c.dMSHR.reset(cfg.L1D.MSHRs)
+	}
+	if c.iMSHR == nil {
+		c.iMSHR = newMSHRFile(cfg.L1I.MSHRs)
+	} else {
+		c.iMSHR.reset(cfg.L1I.MSHRs)
+	}
+	c.l2Cycles = uint64(math.Ceil(cfg.L2.HitLatencySec * cfg.FreqHz))
+	c.memCycles = uint64(math.Ceil(cfg.MemLatencySec * cfg.FreqHz))
+	return nil
+}
+
+// resetCache reuses c when the geometry is unchanged, else builds a
+// fresh cache.
+func resetCache(c *Cache, old, next config.CacheConfig) *Cache {
+	if c == nil || old != next {
+		return NewCache(next)
+	}
+	c.Reset()
+	return c
 }
 
 // MustNew is New, panicking on config errors.
@@ -229,6 +298,8 @@ func (c *Core) Retired() uint64 { return c.retiredTotal }
 // overshoot n by up to RetireWidth-1 instructions). Microarchitectural
 // and cache state carries over between calls, so consecutive calls
 // behave like consecutive epochs of one long run.
+//
+//ramp:hot
 func (c *Core) Run(n uint64) Result {
 	if n == 0 {
 		return Result{}
@@ -252,6 +323,8 @@ func (c *Core) Run(n uint64) Result {
 }
 
 // step advances the core by one cycle.
+//
+//ramp:hot
 func (c *Core) step() {
 	c.retire()
 	c.issue()
@@ -263,6 +336,7 @@ func (c *Core) step() {
 
 // ---- Retire ----
 
+//ramp:hot
 func (c *Core) retire() {
 	for k := 0; k < c.cfg.RetireWidth && c.winCount > 0; k++ {
 		e := &c.win[c.winHead]
@@ -284,6 +358,7 @@ func (c *Core) retire() {
 
 // ---- Issue ----
 
+//ramp:hot
 func (c *Core) issue() {
 	intSlots := c.freeUnits(c.intBusyUntil)
 	fpSlots := c.freeUnits(c.fpBusyUntil)
@@ -461,12 +536,13 @@ func (c *Core) forwardFromStore(load *entry) bool {
 
 // ---- Dispatch (rename) ----
 
+//ramp:hot
 func (c *Core) dispatch() {
 	for k := 0; k < c.cfg.FetchWidth; k++ {
-		if len(c.fetchQ) == 0 || c.winCount == len(c.win) {
+		if c.fqLen == 0 || c.winCount == len(c.win) {
 			return
 		}
-		f := &c.fetchQ[0]
+		f := &c.fq[c.fqHead]
 		if f.availAt > c.cycle {
 			return
 		}
@@ -493,12 +569,20 @@ func (c *Core) dispatch() {
 			c.c.lsqOps++
 		}
 		c.c.winDispatch++
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead = (c.fqHead + 1) % len(c.fq)
+		c.fqLen--
 	}
 }
 
 // ---- Fetch ----
 
+// fetch generates up to FetchWidth instructions directly into the fetch
+// ring's tail slots. Writing through the slot pointer (rather than a
+// local trace.Instr passed through the Source interface) keeps the per
+// instruction generator handoff off the heap: this loop runs once per
+// fetched instruction and performs zero allocations.
+//
+//ramp:hot
 func (c *Core) fetch() {
 	if c.cycle < c.fetchStallTo {
 		return
@@ -514,12 +598,15 @@ func (c *Core) fetch() {
 		return
 	}
 	for k := 0; k < c.cfg.FetchWidth; k++ {
-		if len(c.fetchQ) >= c.fetchQCap {
+		if c.fqLen >= c.fetchQCap {
 			return
 		}
-		var in trace.Instr
-		c.gen.Next(&in)
+		slot := &c.fq[(c.fqHead+c.fqLen)%len(c.fq)]
+		in := &slot.instr
+		c.gen.Next(in)
 		c.seq++
+		slot.seq = c.seq
+		slot.availAt = c.cycle + uint64(c.cfg.FrontLatency)
 		// Mark the instruction in flight from fetch onwards, so a
 		// mispredicted branch blocks fetch until it actually executes
 		// (not until its stale history slot is consulted).
@@ -546,7 +633,8 @@ func (c *Core) fetch() {
 				}
 				c.fetchStallTo = c.cycle + lat
 				// The missing instruction reaches rename only after the fill.
-				c.pushFetchedAt(in, c.fetchStallTo+uint64(c.cfg.FrontLatency))
+				slot.availAt = c.fetchStallTo + uint64(c.cfg.FrontLatency)
+				c.fqLen++
 				return
 			}
 		}
@@ -563,7 +651,7 @@ func (c *Core) fetch() {
 			case trace.Ret:
 				correct = c.bpred.Ret(in.Target)
 			}
-			c.pushFetched(in)
+			c.fqLen++
 			if !correct {
 				c.fetchBlocked = c.seq
 				return
@@ -574,20 +662,8 @@ func (c *Core) fetch() {
 			}
 			continue
 		}
-		c.pushFetched(in)
+		c.fqLen++
 	}
-}
-
-func (c *Core) pushFetched(in trace.Instr) {
-	c.pushFetchedAt(in, c.cycle+uint64(c.cfg.FrontLatency))
-}
-
-func (c *Core) pushFetchedAt(in trace.Instr, availAt uint64) {
-	c.fetchQ = append(c.fetchQ, fetchedInstr{
-		instr:   in,
-		seq:     c.seq,
-		availAt: availAt,
-	})
 }
 
 // ---- Stats ----

@@ -242,24 +242,46 @@ type Generator struct {
 	phaseIdx  int
 	phaseLeft int
 	generated uint64
+
+	// Program-synthesis scratch, reused across Reset calls so a pooled
+	// generator rebuilds without allocating.
+	funcScratch  []uint32
+	blockScratch []uint32
 }
 
 // NewGenerator returns a deterministic generator for profile p and seed.
 func NewGenerator(p Profile, seed int64) (*Generator, error) {
-	if err := p.Validate(); err != nil {
+	g := &Generator{rng: rand.New(rand.NewSource(seed))}
+	if err := g.Reset(p, seed); err != nil {
 		return nil, err
 	}
-	g := &Generator{
-		prof: p,
-		rng:  rand.New(rand.NewSource(seed)),
+	return g, nil
+}
+
+// Reset reinitialises the generator in place for profile p and seed,
+// after which its output is bit-identical to a fresh
+// NewGenerator(p, seed). Program synthesis is deterministic in
+// (profile, seed), so re-seeding the source and rebuilding every phase
+// restores both the static programs and the generator's stream state
+// exactly; phase runtimes (program slots, stream cursors, call stacks)
+// reuse their previous allocations whenever the shapes match, making a
+// same-profile Reset allocation-free in steady state.
+func (g *Generator) Reset(p Profile, seed int64) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
-	g.phases = make([]phaseRT, len(p.Phases))
+	g.prof = p
+	g.rng.Seed(seed)
+	if len(g.phases) != len(p.Phases) {
+		g.phases = make([]phaseRT, len(p.Phases))
+	}
 	for i := range p.Phases {
 		g.buildPhase(i)
 	}
 	g.phaseIdx = 0
 	g.phaseLeft = g.phaseLen(0)
-	return g, nil
+	g.generated = 0
+	return nil
 }
 
 // MustNewGenerator is NewGenerator, panicking on invalid profiles. It is
@@ -304,7 +326,9 @@ func (g *Generator) buildPhase(idx int) {
 		wsum += s.Weight
 	}
 	dataBase := uint64(idx+1)<<40 | 1<<39
-	rt.streams = make([]streamState, len(ph.Streams))
+	if len(rt.streams) != len(ph.Streams) {
+		rt.streams = make([]streamState, len(ph.Streams))
+	}
 	for i, s := range ph.Streams {
 		rt.streams[i] = streamState{spec: s, base: dataBase + uint64(i)<<34}
 	}
@@ -313,7 +337,16 @@ func (g *Generator) buildPhase(idx int) {
 	if n < 64 {
 		n = 64
 	}
-	prog := make([]staticInstr, n)
+	var prog []staticInstr
+	if cap(rt.prog) >= n {
+		// Rebuild in place; clear first so slots the fill passes only
+		// partially write (e.g. a terminator over a former memory op)
+		// match a freshly allocated program exactly.
+		prog = rt.prog[:n]
+		clear(prog)
+	} else {
+		prog = make([]staticInstr, n)
+	}
 
 	// Partition the program into functions of contiguous blocks.
 	numFuncs := n / 600
@@ -323,7 +356,10 @@ func (g *Generator) buildPhase(idx int) {
 	if numFuncs > 48 {
 		numFuncs = 48
 	}
-	funcStart := make([]uint32, numFuncs)
+	if cap(g.funcScratch) < numFuncs {
+		g.funcScratch = make([]uint32, numFuncs)
+	}
+	funcStart := g.funcScratch[:numFuncs]
 	for f := 0; f < numFuncs; f++ {
 		funcStart[f] = uint32(f * n / numFuncs)
 	}
@@ -410,7 +446,7 @@ func (g *Generator) buildPhase(idx int) {
 		start, end := funcStart[f], funcEnd(f)
 
 		// Pass 1: lay out basic-block boundaries.
-		blockStarts := []uint32{}
+		blockStarts := g.blockScratch[:0]
 		i := start
 		for i < end {
 			blockStarts = append(blockStarts, i)
@@ -483,6 +519,7 @@ func (g *Generator) buildPhase(idx int) {
 				}
 			}
 		}
+		g.blockScratch = blockStarts // keep the grown backing array
 	}
 	rt.prog = prog
 	rt.pc = 0
