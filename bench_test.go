@@ -15,6 +15,7 @@ import (
 	"ramp"
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/sched"
 	"ramp/internal/trace"
 )
 
@@ -126,6 +127,29 @@ func BenchmarkFigure4(b *testing.B) {
 	var sb strings.Builder
 	figures.WriteFigure4(&sb, rows)
 	b.Log("\n" + sb.String())
+}
+
+// BenchmarkDieEvaluate measures one manycore schedule evaluation on a
+// four-core die at quick settings: per-epoch wear-leveling assignment,
+// the tiled-die leakage-temperature fixed point (LU fast path on the
+// 46-node system), and per-core RAMP observation. The suite evaluations
+// are cached in the Env, so the number is the cost of the die run
+// itself.
+func BenchmarkDieEvaluate(b *testing.B) {
+	env := quickEnv()
+	sim, err := sched.New(env, sched.DefaultConfig(4, env.Opts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var r sched.Result
+	for i := 0; i < b.N; i++ {
+		r, err = sim.Run(sched.WearLevel)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.LifetimeYears, "lifetime-years")
 }
 
 // ---- substrate micro-benchmarks ----

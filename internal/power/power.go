@@ -130,6 +130,27 @@ func (m *Model) Compute(activity, on Vector, temps Vector, vddV, freqHz float64)
 	return out
 }
 
+// ComputeInto is Compute writing into a caller-provided slice, with
+// temperatures read from a slice of the same length. It exists for the
+// manycore path, where per-block power and temperature live in flat
+// n·NumStructures slices and each core's tile is a sub-slice: the die
+// evaluation loop calls this once per core per leakage iteration with
+// no copies and no heap allocation. The arithmetic is identical to
+// Compute, so a one-core die reproduces the single-core numbers bit
+// for bit.
+//
+//ramp:hot
+func (m *Model) ComputeInto(out []float64, activity, on Vector, temps []float64, vddV, freqHz float64) {
+	if len(out) != int(floorplan.NumStructures) || len(temps) != int(floorplan.NumStructures) {
+		panic(fmt.Sprintf("power: ComputeInto needs %d-structure slices, got out=%d temps=%d",
+			floorplan.NumStructures, len(out), len(temps)))
+	}
+	for s := floorplan.Structure(0); s < floorplan.NumStructures; s++ {
+		out[s] = m.Dynamic(s, activity[s], vddV, freqHz, on[s]) +
+			m.Leakage(s, temps[s], vddV, on[s])
+	}
+}
+
 // Ones returns a Vector of all 1s (no power gating).
 func Ones() Vector {
 	var v Vector

@@ -150,3 +150,30 @@ func clamp01(x float64) float64 {
 	x = math.Abs(x)
 	return x - math.Floor(x)
 }
+
+// TestComputeIntoMatchesCompute pins the manycore tile path: ComputeInto
+// over a flat slice is bitwise identical to Compute, and allocation-free.
+func TestComputeIntoMatchesCompute(t *testing.T) {
+	m := model()
+	var act, temps Vector
+	for s := range act {
+		act[s] = float64(s) / float64(len(act))
+		temps[s] = 340.0 + 2.5*float64(s)
+	}
+	on := Ones()
+	on[floorplan.FPU] = 0.5
+	want := m.Compute(act, on, temps, 0.95, 3.5e9)
+	out := make([]float64, floorplan.NumStructures)
+	m.ComputeInto(out, act, on, temps[:], 0.95, 3.5e9)
+	for s := range want {
+		if out[s] != want[s] {
+			t.Fatalf("ComputeInto[%d] = %v, Compute = %v", s, out[s], want[s])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		m.ComputeInto(out, act, on, temps[:], 0.95, 3.5e9)
+	})
+	if allocs != 0 {
+		t.Fatalf("ComputeInto allocates %.1f times per call, want 0", allocs)
+	}
+}

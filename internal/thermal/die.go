@@ -1,0 +1,189 @@
+package thermal
+
+import (
+	"fmt"
+
+	"ramp/internal/check"
+	"ramp/internal/floorplan"
+	"ramp/internal/obs"
+)
+
+// DieModel is the RC thermal model of a tiled manycore die: one node
+// per (core, structure) block — flat index core·NumStructures +
+// structure, as assigned by floorplan.Die.Index — plus one heat
+// spreader and one heat sink shared by the whole die. Cores couple
+// laterally through the tile seams, so a hot core raises its
+// neighbours' temperatures; that coupling is what the aging-aware
+// scheduler exploits and what a placement-blind policy pays for.
+//
+// Like Model, the conductance matrices are fixed at construction and
+// LU-factorized once (partial pivoting); every QuasiSteadyInto or
+// SteadyState call is a pair of O(n²) triangular substitutions with no
+// matrix assembly and no heap allocation — the same fast path, now on
+// an n·NumStructures system. Unlike Model, whose scratch lives in
+// fixed-size stack arrays, a DieModel's solve scratch is sized at
+// construction and owned by the model, so one DieModel must not run
+// concurrent solves; give each worker its own (construction is a few
+// hundred microseconds even at 16 cores).
+type DieModel struct {
+	die    *floorplan.Die
+	p      Params
+	nb     int // die blocks: cores · NumStructures
+	n      int // total nodes: blocks + spreader + sink
+	g      [][]float64
+	c      []float64
+	gSinkA float64
+
+	quasi   lu
+	full    lu
+	fullA   []float64
+	gToSink []float64
+
+	sb, sx []float64 // solve scratch (owned; solves are single-goroutine)
+
+	solves *obs.Counter
+}
+
+// DieParams returns package constants for an n-core die: the silicon
+// stack is unchanged (per-block vertical resistance already scales with
+// block area), but the spreader and sink grow with the die — n times
+// the heat flows through them, so their resistances drop and their
+// capacities rise by the core count. DieParams(ambientK, 1) is exactly
+// DefaultParams(ambientK).
+func DieParams(ambientK float64, nCores int) Params {
+	p := DefaultParams(ambientK)
+	if nCores > 1 {
+		f := float64(nCores)
+		p.SpreaderRKW /= f
+		p.SinkRKW /= f
+		p.SpreaderCJK *= f
+		p.SinkCJK *= f
+	}
+	return p
+}
+
+// NewDie assembles and factorizes the thermal network of a tiled die.
+func NewDie(die *floorplan.Die, p Params) (*DieModel, error) {
+	g, c, err := assembleNetwork(die, p)
+	if err != nil {
+		return nil, err
+	}
+	m := &DieModel{
+		die:    die,
+		p:      p,
+		nb:     die.NumBlocks(),
+		n:      die.NumBlocks() + 2,
+		g:      g,
+		c:      c,
+		gSinkA: 1 / p.SinkRKW,
+	}
+	m.full, m.quasi, m.fullA, m.gToSink, err = factorizeNetwork(m.g, m.n, m.gSinkA)
+	if err != nil {
+		return nil, err
+	}
+	m.sb = make([]float64, m.n)
+	m.sx = make([]float64, m.n)
+	return m, nil
+}
+
+// MustNewDie is NewDie, panicking on bad parameters.
+func MustNewDie(die *floorplan.Die, p Params) *DieModel {
+	m, err := NewDie(die, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// CountSolves attaches a counter incremented once per linear-system
+// solve (nil disables counting).
+func (m *DieModel) CountSolves(c *obs.Counter) { m.solves = c }
+
+// Die returns the floorplan die the model was built from.
+func (m *DieModel) Die() *floorplan.Die { return m.die }
+
+// NumBlocks returns the die's block count (cores · NumStructures); the
+// power and temperature slices the solves exchange have this length.
+func (m *DieModel) NumBlocks() int { return m.nb }
+
+// Nodes returns the total node count (blocks + spreader + sink).
+func (m *DieModel) Nodes() int { return m.n }
+
+// Ambient returns the model's ambient temperature (K).
+func (m *DieModel) Ambient() float64 { return m.p.AmbientK }
+
+// SinkSteadyTemp returns the sink temperature reached under a constant
+// total die power (the first pass of the paper's two-pass
+// initialisation, unchanged on a manycore die — the sink is shared).
+func (m *DieModel) SinkSteadyTemp(totalPowerW float64) float64 {
+	return m.p.AmbientK + totalPowerW*m.p.SinkRKW
+}
+
+// QuasiSteadyInto solves per-block temperatures with the sink pinned at
+// sinkTempK and writes them into out (length NumBlocks, indexed by
+// Die.Index). blockPower carries per-block powers in the same layout.
+// This is the manycore counterpart of Model.QuasiSteady: no assembly,
+// no elimination, no heap allocation — but the scratch is the model's,
+// so solves must not run concurrently on one DieModel.
+//
+//ramp:hot
+func (m *DieModel) QuasiSteadyInto(out []float64, blockPower []float64, sinkTempK float64) {
+	if len(out) != m.nb || len(blockPower) != m.nb {
+		panic(fmt.Sprintf("thermal: DieModel solve needs %d-block slices, got out=%d power=%d",
+			m.nb, len(out), len(blockPower)))
+	}
+	nq := m.n - 1 // exclude the pinned sink
+	b := m.sb[:nq]
+	x := m.sx[:nq]
+	for i := 0; i < nq; i++ {
+		b[i] = m.gToSink[i] * sinkTempK
+	}
+	for i := 0; i < m.nb; i++ {
+		b[i] += blockPower[i]
+	}
+	m.quasi.solveInto(x, b)
+	m.solves.Inc()
+	copy(out, x[:m.nb])
+	for i := 0; i < m.nb; i++ {
+		// A block temperature outside plausible silicon range means the
+		// power input or the pinned sink temperature carried a unit bug.
+		check.TempK("thermal.DieModel.QuasiSteadyInto", out[i])
+	}
+}
+
+// SteadyState solves the full network for constant per-block power and
+// returns all node temperatures (blocks, then spreader, then sink).
+func (m *DieModel) SteadyState(blockPower []float64) []float64 {
+	if len(blockPower) != m.nb {
+		panic(fmt.Sprintf("thermal: DieModel SteadyState needs %d block powers, got %d", m.nb, len(blockPower)))
+	}
+	b := m.sb[:m.n]
+	for i := range b {
+		b[i] = 0
+	}
+	b[m.n-1] = m.gSinkA * m.p.AmbientK
+	for i := 0; i < m.nb; i++ {
+		b[i] += blockPower[i]
+	}
+	t := make([]float64, m.n)
+	m.full.solveInto(t, b)
+	m.solves.Inc()
+	for _, v := range t {
+		check.TempK("thermal.DieModel.SteadyState", v)
+	}
+	return t
+}
+
+// MaxCoreTemp returns the hottest block temperature of one core within
+// a flat per-block temperature slice.
+func (m *DieModel) MaxCoreTemp(temps []float64, core int) float64 {
+	lo := m.die.Index(core, 0)
+	hi := lo + int(floorplan.NumStructures)
+	maxT := temps[lo]
+	for i := lo + 1; i < hi; i++ {
+		if temps[i] > maxT {
+			maxT = temps[i]
+		}
+	}
+	return maxT
+}

@@ -78,11 +78,15 @@ func DefaultParams(ambientK float64) Params {
 }
 
 // Model is the assembled RC network with its pre-factorized solvers.
+// Since the manycore refactor it is the n = 1 special case of the tiled
+// DieModel: the assembly is provably identical (the tile offset is
+// exactly zero; TestDieModelN1MatchesModel pins it bit for bit), but
+// Model keeps the fixed-size stack scratch that makes its solves safe
+// for concurrent use across evaluation workers.
 type Model struct {
 	fp     *floorplan.Floorplan
 	p      Params
-	n      int // total nodes: blocks + spreader + sink
-	gVert  [floorplan.NumStructures]float64
+	n      int         // total nodes: blocks + spreader + sink
 	g      [][]float64 // conductance between node pairs (symmetric)
 	c      []float64   // per-node heat capacity
 	gSinkA float64     // sink -> ambient conductance
@@ -106,7 +110,12 @@ type Model struct {
 func (m *Model) CountSolves(c *obs.Counter) { m.solves = c }
 
 // New assembles the thermal network for a floorplan and factorizes its
-// steady-state systems.
+// steady-state systems. The assembly is the n = 1 special case of the
+// tiled assembleNetwork — same block order, same adjacency order, same
+// accumulation — inlined against the bare floorplan so constructing a
+// Model allocates nothing beyond its own matrices (Env construction is
+// on several benchmark hot paths). TestDieModelN1MatchesModel pins the
+// two assemblies bit for bit.
 func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 	if p.DieThicknessM <= 0 || p.KSiliconWmK <= 0 || p.SinkRKW <= 0 || p.SpreaderRKW <= 0 {
 		return nil, fmt.Errorf("thermal: non-positive physical parameter: %+v", p)
@@ -131,10 +140,9 @@ func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 		areaM2 := fp.AreaMM2(floorplan.Structure(s)) * 1e-6
 		// Vertical: die conduction plus TIM, block -> spreader.
 		r := p.DieThicknessM/(p.KSiliconWmK*areaM2) + p.RVertExtraKWm2/areaM2
-		g := 1 / r
-		m.gVert[s] = g
-		m.g[s][spreader] += g
-		m.g[spreader][s] += g
+		gv := 1 / r
+		m.g[s][spreader] += gv
+		m.g[spreader][s] += gv
 		// Block heat capacity.
 		m.c[s] = p.CSiliconJm3K * areaM2 * p.DieThicknessM
 	}
@@ -145,10 +153,10 @@ func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 		if distM <= 0 {
 			continue
 		}
-		g := p.KSiliconWmK * p.DieThicknessM * sharedM / distM
+		gl := p.KSiliconWmK * p.DieThicknessM * sharedM / distM
 		a, b := int(adj.A), int(adj.B)
-		m.g[a][b] += g
-		m.g[b][a] += g
+		m.g[a][b] += gl
+		m.g[b][a] += gl
 	}
 	// Spreader -> sink.
 	gss := 1 / p.SpreaderRKW
@@ -157,25 +165,78 @@ func New(fp *floorplan.Floorplan, p Params) (*Model, error) {
 	m.c[spreader] = p.SpreaderCJK
 	m.c[sink] = p.SinkCJK
 
-	if err := m.factorizeSystems(); err != nil {
+	var err error
+	m.full, m.quasi, m.fullA, m.gToSink, err = factorizeNetwork(m.g, m.n, m.gSinkA)
+	if err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-// factorizeSystems assembles and LU-factorizes the two steady-state
-// systems, and keeps a pristine copy of the full matrix for transient
-// refactorization.
-func (m *Model) factorizeSystems() error {
-	n := m.n
-	sink := m.sinkIndex()
+// assembleNetwork builds the conductance graph and heat capacities of a
+// tiled die: one node per (core, structure) block — flat index
+// core·NumStructures + structure — plus one spreader and one sink node
+// shared by the whole die. Returns the symmetric pairwise conductance
+// matrix and the per-node heat capacities.
+func assembleNetwork(die *floorplan.Die, p Params) (g [][]float64, c []float64, err error) {
+	if p.DieThicknessM <= 0 || p.KSiliconWmK <= 0 || p.SinkRKW <= 0 || p.SpreaderRKW <= 0 {
+		return nil, nil, fmt.Errorf("thermal: non-positive physical parameter: %+v", p)
+	}
+	nb := die.NumBlocks()
+	n := nb + 2
+	g = make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	c = make([]float64, n)
+	spreader := nb
+	sink := nb + 1
+
+	for i := 0; i < nb; i++ {
+		core, s := die.CoreOf(i)
+		areaM2 := die.AreaMM2(core, s) * 1e-6
+		// Vertical: die conduction plus TIM, block -> spreader.
+		r := p.DieThicknessM/(p.KSiliconWmK*areaM2) + p.RVertExtraKWm2/areaM2
+		gv := 1 / r
+		g[i][spreader] += gv
+		g[spreader][i] += gv
+		// Block heat capacity.
+		c[i] = p.CSiliconJm3K * areaM2 * p.DieThicknessM
+	}
+	// Lateral conduction between adjacent blocks — intra-core and across
+	// tile seams alike.
+	for _, adj := range die.Adjacencies() {
+		sharedM := adj.SharedMM * 1e-3
+		distM := adj.CenterDist * 1e-3
+		if distM <= 0 {
+			continue
+		}
+		gl := p.KSiliconWmK * p.DieThicknessM * sharedM / distM
+		a, b := die.Index(adj.CoreA, adj.A), die.Index(adj.CoreB, adj.B)
+		g[a][b] += gl
+		g[b][a] += gl
+	}
+	// Spreader -> sink.
+	gss := 1 / p.SpreaderRKW
+	g[spreader][sink] += gss
+	g[sink][spreader] += gss
+	c[spreader] = p.SpreaderCJK
+	c[sink] = p.SinkCJK
+	return g, c, nil
+}
+
+// factorizeNetwork assembles and LU-factorizes the two steady-state
+// systems of a conductance graph, and keeps a pristine copy of the full
+// matrix for transient refactorization. The sink is node n-1.
+func factorizeNetwork(g [][]float64, n int, gSinkA float64) (full, quasi lu, fullA, gToSink []float64, err error) {
+	sink := n - 1
 
 	// Full network: conductance Laplacian plus the sink->ambient leg.
-	m.fullA = make([]float64, n*n)
-	m.fillConductance(m.fullA, n)
-	m.fullA[sink*n+sink] += m.gSinkA
-	if err := m.full.factorize(n, append([]float64(nil), m.fullA...)); err != nil {
-		return err
+	fullA = make([]float64, n*n)
+	fillConductance(g, fullA, n)
+	fullA[sink*n+sink] += gSinkA
+	if err = full.factorize(n, append([]float64(nil), fullA...)); err != nil {
+		return
 	}
 
 	// Quasi-steady network: the sink row/column is removed (pinned
@@ -183,28 +244,29 @@ func (m *Model) factorizeSystems() error {
 	// feed the RHS.
 	nq := n - 1
 	qa := make([]float64, nq*nq)
-	m.fillConductance(qa, nq)
-	m.gToSink = make([]float64, nq)
+	fillConductance(g, qa, nq)
+	gToSink = make([]float64, nq)
 	for i := 0; i < nq; i++ {
-		g := m.g[i][sink]
-		m.gToSink[i] = g
-		qa[i*nq+i] += g
+		gs := g[i][sink]
+		gToSink[i] = gs
+		qa[i*nq+i] += gs
 	}
-	return m.quasi.factorize(nq, qa)
+	err = quasi.factorize(nq, qa)
+	return
 }
 
 // fillConductance writes the Laplacian of the first dim nodes of the
 // conductance graph into the row-major dim×dim matrix a.
-func (m *Model) fillConductance(a []float64, dim int) {
+func fillConductance(g [][]float64, a []float64, dim int) {
 	for i := 0; i < dim; i++ {
 		for j := 0; j < dim; j++ {
 			if i == j {
 				continue
 			}
-			g := m.g[i][j]
-			if g != 0 {
-				a[i*dim+i] += g
-				a[i*dim+j] -= g
+			gv := g[i][j]
+			if gv != 0 {
+				a[i*dim+i] += gv
+				a[i*dim+j] -= gv
 			}
 		}
 	}

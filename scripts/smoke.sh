@@ -24,7 +24,7 @@ trap cleanup EXIT
 
 step() { echo "==> $*"; }
 
-binaries="rampsim ramptables drmexplore drmdtm scaling rampvet rampserve tracecheck"
+binaries="rampsim ramptables drmexplore drmdtm scaling manycore rampvet rampserve tracecheck"
 
 step "build all binaries"
 for b in ${binaries}; do
@@ -74,8 +74,13 @@ step "scaling: quick technology-scaling sweep"
 "${bindir}/scaling" -quick >"${logdir}/scaling.out"
 grep -q "nm" "${logdir}/scaling.out"
 
-step "rampvet: lint one package"
-"${bindir}/rampvet" ./internal/core
+step "manycore: quick N=2 policy sweep"
+"${bindir}/manycore" -quick -cores 2 -epochs 4 >"${logdir}/manycore.out"
+grep -q "single-core DRM baseline" "${logdir}/manycore.out"
+grep -q "wearlevel" "${logdir}/manycore.out"
+
+step "rampvet: lint the RAMP core and the manycore scheduler stack"
+"${bindir}/rampvet" ./internal/core ./internal/sched ./cmd/manycore
 
 step "rampserve: serve, evaluate over HTTP, drain on SIGTERM"
 "${bindir}/rampserve" -addr 127.0.0.1:0 -quick >"${logdir}/rampserve.out" 2>&1 &
