@@ -9,12 +9,14 @@
 package ramp_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"ramp"
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/fleet"
 	"ramp/internal/sched"
 	"ramp/internal/trace"
 )
@@ -312,6 +314,49 @@ func BenchmarkLifetimeModel(b *testing.B) {
 		years = lm.MTTFYears()
 	}
 	b.ReportMetric(years, "weibull-MTTF-years")
+}
+
+// BenchmarkFleetMC measures the fleet Monte Carlo engine: chips
+// simulated to first failure per op, with process variation, two DRM
+// policies and a repair scenario in play. Allocations per op are the
+// run's fixed setup (shard accumulators + report); the per-chip loop
+// itself is allocation-free (fleet's TestSimulateShardZeroAlloc).
+func BenchmarkFleetMC(b *testing.B) {
+	const chips = 50_000
+	env := quickEnv()
+	res, err := env.Evaluate(trace.Twolf(), env.Base, qualAt(env, 400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var policies []fleet.Policy
+	for _, tq := range []float64{400, 370} {
+		a, err := env.Requalify(res, qualAt(env, tq))
+		if err != nil {
+			b.Fatal(err)
+		}
+		policies = append(policies, fleet.Policy{Name: "tq", Assessment: a})
+	}
+	cfg := fleet.DefaultConfig(chips, 1)
+	cfg.Scenarios = []fleet.Scenario{
+		fleet.NominalScenario(),
+		{Name: "repair", Duty: 1, Spares: 2},
+	}
+	eng, err := fleet.New(cfg, policies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *fleet.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = eng.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(chips, "chips/op")
+	b.ReportMetric(float64(chips)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mchips/s")
+	b.ReportMetric(rep.Results[0].MeanYears, "fleet-mean-years")
 }
 
 // BenchmarkSensorHarness measures RAMP observation through the emulated

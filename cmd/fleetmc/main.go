@@ -1,0 +1,154 @@
+// Command fleetmc simulates a shipped fleet of processors to first
+// failure: it evaluates one (application, configuration) through the
+// full pipeline, requalifies the RAMP assessment at each requested
+// T_qual (one DRM policy per temperature), then runs the deterministic
+// fleet Monte Carlo engine over millions of virtual chips with per-chip
+// process variation, reporting survival curves, 7/11-year warranty
+// return rates and failure-mechanism mix per (policy, scenario).
+//
+// Examples:
+//
+//	fleetmc -app MP3dec -quick
+//	fleetmc -app twolf -chips 2000000 -tquals 400,370,345
+//	fleetmc -app gzip -duty 0.8 -spares 2 -seed 7
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ramp/internal/exp"
+	"ramp/internal/fleet"
+	"ramp/internal/obs"
+	"ramp/internal/trace"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "MP3dec", "application (MPGdec MP3dec H263enc bzip2 gzip twolf art equake ammp)")
+		chips   = flag.Int("chips", 2_000_000, "fleet population size")
+		seed    = flag.Uint64("seed", 1, "Monte Carlo seed (per-chip streams derive from it)")
+		tquals  = flag.String("tquals", "400", "comma-separated qualification temperatures in K (one policy each)")
+		freqHz  = flag.Float64("freq", 4e9, "clock frequency in Hz (voltage follows the DVS curve)")
+		duty    = flag.Float64("duty", 1, "stress duty cycle; < 1 adds a checkpointing scenario")
+		spares  = flag.Int("spares", 0, "in-field spare units; > 0 adds a repair scenario")
+		horizon = flag.Float64("horizon", 30, "survival-curve horizon in years")
+		bins    = flag.Int("bins", 60, "survival-curve bins across the horizon")
+		workers = flag.Int("workers", 0, "shard workers (0 = GOMAXPROCS; results never depend on it)")
+		quick   = flag.Bool("quick", false, "quick mode: 1M chips and the short simulation options")
+	)
+	obsFlags := obs.AddFlags(flag.CommandLine)
+	flag.Parse()
+	rt, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetmc:", err)
+		os.Exit(1)
+	}
+	defer rt.CloseOrLog()
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+		if !flagSet("chips") {
+			*chips = 1_000_000
+		}
+	}
+	env := exp.NewEnv(opts).Instrument(rt.Tracer, rt.Metrics)
+
+	app, err := trace.AppByName(*appName)
+	if err != nil {
+		rt.Fatal("unknown application", err)
+	}
+	proc := env.Base
+	if *freqHz > 0 {
+		proc = proc.WithOperatingPoint(*freqHz)
+	}
+
+	tqs, err := parseTquals(*tquals)
+	if err != nil {
+		rt.Fatal("bad -tquals", err)
+	}
+
+	// One pipeline evaluation feeds every policy; per-T_qual assessments
+	// are cheap requalifications of the same simulated run.
+	res, err := env.Evaluate(app, proc, env.Qualification(tqs[0]))
+	if err != nil {
+		rt.Fatal("evaluation failed", err)
+	}
+	var policies []fleet.Policy
+	for _, tq := range tqs {
+		a, err := env.Requalify(res, env.Qualification(tq))
+		if err != nil {
+			rt.Fatal("requalification failed", err)
+		}
+		policies = append(policies, fleet.Policy{Name: fmt.Sprintf("tq%gK", tq), Assessment: a})
+	}
+
+	cfg := fleet.DefaultConfig(*chips, *seed)
+	cfg.Workers = *workers
+	cfg.HorizonYears = *horizon
+	cfg.Bins = *bins
+	if *duty < 1 {
+		cfg.Scenarios = append(cfg.Scenarios, fleet.Scenario{Name: "checkpoint", Duty: *duty})
+	}
+	if *spares > 0 {
+		cfg.Scenarios = append(cfg.Scenarios, fleet.Scenario{Name: "repair", Duty: 1, Spares: *spares})
+	}
+	if *duty < 1 && *spares > 0 {
+		cfg.Scenarios = append(cfg.Scenarios, fleet.Scenario{Name: "checkpoint+repair", Duty: *duty, Spares: *spares})
+	}
+
+	eng, err := fleet.New(cfg, policies)
+	if err != nil {
+		rt.Fatal("fleet configuration rejected", err)
+	}
+	eng.Instrument(rt.Tracer, rt.Metrics)
+
+	start := time.Now()
+	rep, err := eng.Run(context.Background())
+	if err != nil {
+		rt.Fatal("fleet run failed", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("app %s (%s), config %s\n", app.Name, app.Class, proc.Name)
+	rep.WriteTable(os.Stdout)
+	fmt.Printf("simulated %d chips in %.2fs (%.1f Mchips/s)\n",
+		*chips, elapsed.Seconds(), float64(*chips)/elapsed.Seconds()/1e6)
+}
+
+// parseTquals parses the comma-separated -tquals list.
+func parseTquals(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tqual %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no qualification temperatures in %q", s)
+	}
+	return out, nil
+}
+
+// flagSet reports whether the named flag was set explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

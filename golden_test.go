@@ -14,6 +14,7 @@ package ramp_test
 // fast enough for every CI run; full-length outputs live in results/.
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"ramp/internal/exp"
 	"ramp/internal/figures"
+	"ramp/internal/fleet"
 	"ramp/internal/trace"
 )
 
@@ -43,6 +45,7 @@ func goldenCases() []goldenCase {
 	return []goldenCase{
 		{"tables_quick.txt", renderTablesQuick},
 		{"figure3_quick.txt", renderFigure3Quick},
+		{"fleet_quick.txt", renderFleetQuick},
 	}
 }
 
@@ -75,6 +78,43 @@ func renderFigure3Quick(env *exp.Env, buf *bytes.Buffer) error {
 		return fmt.Errorf("figure 3: %w", err)
 	}
 	figures.WriteFigure3(buf, app.Name, rows)
+	return nil
+}
+
+// renderFleetQuick is a small fleet Monte Carlo survival table: two
+// qualification policies over MP3dec with checkpointing and repair
+// scenarios. The fleet engine is bitwise-deterministic at any worker
+// count, so the snapshot pins both the sampling layer and the table
+// formatting.
+func renderFleetQuick(env *exp.Env, buf *bytes.Buffer) error {
+	app := trace.MP3dec()
+	res, err := env.Evaluate(app, env.Base, env.Qualification(400))
+	if err != nil {
+		return fmt.Errorf("fleet evaluate: %w", err)
+	}
+	var policies []fleet.Policy
+	for _, tq := range []float64{400, 370} {
+		a, err := env.Requalify(res, env.Qualification(tq))
+		if err != nil {
+			return fmt.Errorf("fleet requalify %g: %w", tq, err)
+		}
+		policies = append(policies, fleet.Policy{Name: fmt.Sprintf("tq%gK", tq), Assessment: a})
+	}
+	cfg := fleet.DefaultConfig(100_000, 1)
+	cfg.Scenarios = []fleet.Scenario{
+		fleet.NominalScenario(),
+		{Name: "checkpoint", Duty: 0.8},
+		{Name: "repair", Duty: 1, Spares: 2},
+	}
+	eng, err := fleet.New(cfg, policies)
+	if err != nil {
+		return fmt.Errorf("fleet new: %w", err)
+	}
+	rep, err := eng.Run(context.Background())
+	if err != nil {
+		return fmt.Errorf("fleet run: %w", err)
+	}
+	rep.WriteTable(buf)
 	return nil
 }
 

@@ -94,6 +94,16 @@ func NewLifetimeModel(a Assessment, shapes WeibullShapes) (*LifetimeModel, error
 // Components returns the number of active failure components.
 func (lm *LifetimeModel) Components() int { return len(lm.comps) }
 
+// Component returns the i-th active component's identity and Weibull
+// parameters (shape beta, scale eta in hours). The fleet Monte Carlo
+// engine compiles the model into flat per-cell arrays through this
+// accessor, so its samples are drawn from exactly the distributions
+// Reliability integrates.
+func (lm *LifetimeModel) Component(i int) (s floorplan.Structure, m Mechanism, shape, scaleHours float64) {
+	c := lm.comps[i]
+	return c.structure, c.mechanism, c.shape, c.scale
+}
+
 // Reliability returns the probability the processor survives past t
 // hours: the product of component Weibull survivals (series system).
 func (lm *LifetimeModel) Reliability(tHours float64) float64 {

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ramp/internal/core"
+)
+
+// FuzzVariationSampler drives the process-variation sampler across the
+// whole accepted parameter space: every multiplier it produces must be
+// finite and strictly positive (a zero or NaN multiplier would poison
+// the inverse-CDF transform), and the fleet survival curve built on top
+// of it must stay a monotone probability.
+func FuzzVariationSampler(f *testing.F) {
+	f.Add(uint64(1), 0.08, 0.12, 0.6, 0.4, 1.0, 0.0)
+	f.Add(uint64(99), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(uint64(7), 1.0, 1.0, 4.0, 4.0, 4.0, 4.0)
+	f.Add(uint64(0), 0.5, 0.01, 2.0, 0.1, 3.3, 0.7)
+	f.Fuzz(func(t *testing.T, seed uint64, ss, ls, g0, g1, g2, g3 float64) {
+		p := VariationParams{StructSigma: ss, LeakSigma: ls}
+		p.LeakGamma[core.EM] = g0
+		p.LeakGamma[core.SM] = g1
+		p.LeakGamma[core.TDDB] = g2
+		p.LeakGamma[core.TC] = g3
+		if p.Validate() != nil {
+			t.Skip()
+		}
+
+		var k [numCells]float64
+		for chip := uint64(0); chip < 64; chip++ {
+			r := chipStream(seed, saltVariation, chip)
+			sampleVariation(&r, p, &k)
+			for c, v := range k {
+				if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+					t.Fatalf("chip %d cell %d: multiplier %v not finite positive", chip, c, v)
+				}
+			}
+		}
+
+		cfg := DefaultConfig(1_000, seed)
+		cfg.Variation = p
+		rep := runFleetF(t, cfg)
+		for _, sr := range rep.Results {
+			prev := 1.0
+			for b, s := range sr.Survival {
+				if s < 0 || s > prev {
+					t.Fatalf("survival not monotone in [0,1] at bin %d: %v (prev %v)", b, s, prev)
+				}
+				prev = s
+			}
+		}
+	})
+}
+
+// runFleetF is runFleet for fuzz targets (testing.F passes *testing.T
+// into the fuzz function, so the helper is shared by signature).
+func runFleetF(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	eng, err := New(cfg, []Policy{{Name: "base", Assessment: multiCell()}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}

@@ -76,6 +76,7 @@ type metrics struct {
 
 	requestsEvaluate atomic.Int64
 	requestsSweep    atomic.Int64
+	requestsFleet    atomic.Int64
 	requestsHealthz  atomic.Int64
 	requestsMetrics  atomic.Int64
 
@@ -91,6 +92,7 @@ type metrics struct {
 	latQueueWait histogram // admission → worker slot acquired
 	latEvaluate  histogram // /v1/evaluate compute time
 	latSweep     histogram // /v1/sweep compute time (sweep + all selects)
+	latFleet     histogram // /v1/fleet compute time (evaluate + Monte Carlo)
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -150,6 +152,7 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 		RequestsTotal: map[string]int64{
 			"evaluate": m.requestsEvaluate.Load(),
 			"sweep":    m.requestsSweep.Load(),
+			"fleet":    m.requestsFleet.Load(),
 			"healthz":  m.requestsHealthz.Load(),
 			"metrics":  m.requestsMetrics.Load(),
 		},
@@ -167,6 +170,7 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 			"queue_wait": m.latQueueWait.snapshot(),
 			"evaluate":   m.latEvaluate.snapshot(),
 			"sweep":      m.latSweep.snapshot(),
+			"fleet":      m.latFleet.snapshot(),
 		},
 	}
 }

@@ -11,6 +11,7 @@
 //
 //	POST /v1/evaluate  one (app, configuration, T_qual) evaluation
 //	POST /v1/sweep     a DRM adaptation-space sweep with per-T_qual selection
+//	POST /v1/fleet     a fleet-scale Monte Carlo lifetime simulation
 //	GET  /v1/healthz   liveness + cache occupancy
 //	GET  /metrics      expvar-style counters and latency histograms (JSON)
 //	GET  /debug/pprof  live pprof (internal/profiling.RegisterHTTP)
@@ -86,6 +87,7 @@ type Server struct {
 	env     *exp.Env
 	pool    *pool
 	metrics *metrics
+	fleet   fleetCache
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the request middleware
 	log     *slog.Logger
@@ -116,6 +118,7 @@ func New(env *exp.Env, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {

@@ -46,6 +46,8 @@ lane "go test -race (short)" go test -race -short ./internal/...
 # run `-fuzztime 60s` (or longer) locally when touching these packages.
 lane "fuzz trace" go test -fuzz FuzzTraceGenerator -fuzztime 5s -run '^$' ./internal/trace/
 lane "fuzz cachekey" go test -fuzz FuzzCacheKey -fuzztime 5s -run '^$' ./internal/exp/
+lane "fuzz variation" go test -fuzz FuzzVariationSampler -fuzztime 5s -run '^$' ./internal/fleet/
+lane "fuzz fleetreq" go test -fuzz FuzzFleetRequest -fuzztime 5s -run '^$' ./internal/serve/
 lane "smoke" ./scripts/smoke.sh
 lane "obscheck" ./scripts/obscheck.sh
 # The domain linter runs against the committed baseline: grandfathered

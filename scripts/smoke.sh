@@ -24,7 +24,7 @@ trap cleanup EXIT
 
 step() { echo "==> $*"; }
 
-binaries="rampsim ramptables drmexplore drmdtm scaling manycore rampvet rampserve tracecheck"
+binaries="rampsim ramptables drmexplore drmdtm scaling manycore rampvet rampserve tracecheck fleetmc"
 
 step "build all binaries"
 for b in ${binaries}; do
@@ -79,6 +79,11 @@ step "manycore: quick N=2 policy sweep"
 grep -q "single-core DRM baseline" "${logdir}/manycore.out"
 grep -q "wearlevel" "${logdir}/manycore.out"
 
+step "fleetmc: quick fleet Monte Carlo (1M chips, two policies)"
+"${bindir}/fleetmc" -quick -tquals 400,370 >"${logdir}/fleetmc.out"
+grep -q "Fleet Monte Carlo: 1000000 chips" "${logdir}/fleetmc.out"
+grep -q "tq370K" "${logdir}/fleetmc.out"
+
 step "rampvet: lint the RAMP core and the manycore scheduler stack"
 "${bindir}/rampvet" ./internal/core ./internal/sched ./cmd/manycore
 
@@ -104,6 +109,10 @@ curl -sSf -X POST "http://${addr}/v1/evaluate" \
 	-d '{"app":"twolf","freq_hz":4.5e9,"tqual_k":370}' >"${logdir}/evaluate.json"
 grep -q '"fit"' "${logdir}/evaluate.json"
 curl -sSf "http://${addr}/metrics" | grep -q '"requests_total"'
+curl -sSf -X POST "http://${addr}/v1/fleet" \
+	-d '{"app":"twolf","chips":2000,"tquals_k":[400,370],"spares":1}' >"${logdir}/fleet.json"
+grep -q '"return_rate_11y"' "${logdir}/fleet.json"
+grep -q '"scenario":"repair"' "${logdir}/fleet.json"
 
 step "rampserve: request-ID echo (inbound honored, generated otherwise)"
 curl -sSf -D "${logdir}/rid.h" -o /dev/null \
