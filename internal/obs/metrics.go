@@ -322,11 +322,14 @@ func (r *Registry) WriteSummary(w io.Writer) {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		mean := 0.0
-		if h.Count > 0 {
-			mean = float64(h.Sum) / float64(h.Count)
+		if h.Count == 0 {
+			fmt.Fprintf(w, "%-40s count=0 sum=0 mean=0.00\n", name)
+			continue
 		}
-		fmt.Fprintf(w, "%-40s count=%d sum=%d mean=%.2f\n", name, h.Count, h.Sum, mean)
+		mean := float64(h.Sum) / float64(h.Count)
+		fmt.Fprintf(w, "%-40s count=%d sum=%d mean=%.2f p50=%g p95=%g p99=%g\n",
+			name, h.Count, h.Sum, mean,
+			h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
 	}
 }
 

@@ -39,10 +39,14 @@ func (h *histogram) observe(d time.Duration) {
 }
 
 // histSnapshot is the JSON form of one histogram: cumulative counts per
-// upper bound, expvar-style flat keys.
+// upper bound, expvar-style flat keys, plus interpolated quantile
+// estimates (obs.HistogramSnapshot.Quantile over the same buckets).
 type histSnapshot struct {
 	Count   int64            `json:"count"`
 	SumUS   int64            `json:"sum_us"`
+	P50US   float64          `json:"p50_us,omitempty"`
+	P95US   float64          `json:"p95_us,omitempty"`
+	P99US   float64          `json:"p99_us,omitempty"`
 	Buckets map[string]int64 `json:"buckets_le_us,omitempty"`
 }
 
@@ -64,6 +68,10 @@ func (h *histogram) snapshot() histSnapshot {
 		}
 		s.Buckets[le] = cum
 	}
+	q := toObsHistogram(s)
+	s.P50US = q.Quantile(0.50)
+	s.P95US = q.Quantile(0.95)
+	s.P99US = q.Quantile(0.99)
 	return s
 }
 
@@ -79,6 +87,7 @@ type metrics struct {
 	requestsFleet    atomic.Int64
 	requestsHealthz  atomic.Int64
 	requestsMetrics  atomic.Int64
+	requestsStream   atomic.Int64
 
 	responses2xx atomic.Int64
 	responses4xx atomic.Int64
@@ -155,6 +164,7 @@ func (s *Server) snapshotMetrics() metricsSnapshot {
 			"fleet":    m.requestsFleet.Load(),
 			"healthz":  m.requestsHealthz.Load(),
 			"metrics":  m.requestsMetrics.Load(),
+			"stream":   m.requestsStream.Load(),
 		},
 		Responses: map[string]int64{
 			"2xx": m.responses2xx.Load(),

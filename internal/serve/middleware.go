@@ -77,6 +77,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers
+// (/v1/metrics/stream) can push frames through the middleware wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // middleware wraps next with request-ID plumbing, a per-request span on
 // the env's tracer, and an access log line.
 func (s *Server) middleware(next http.Handler) http.Handler {

@@ -94,6 +94,11 @@ type Server struct {
 
 	// addr publishes the bound listener address once Serve starts.
 	addr chan net.Addr
+
+	// draining closes when graceful shutdown begins, so long-lived
+	// handlers (/v1/metrics/stream subscribers) return promptly and
+	// http.Server.Shutdown never waits on them.
+	draining chan struct{}
 }
 
 // New builds a Server over env (which owns the evaluation cache; pass a
@@ -108,19 +113,21 @@ func New(env *exp.Env, cfg Config) *Server {
 		log = obs.Discard()
 	}
 	s := &Server{
-		cfg:     cfg,
-		env:     env,
-		pool:    newPool(cfg.Workers, cfg.QueueDepth, m),
-		metrics: m,
-		mux:     http.NewServeMux(),
-		log:     log,
-		addr:    make(chan net.Addr, 1),
+		cfg:      cfg,
+		env:      env,
+		pool:     newPool(cfg.Workers, cfg.QueueDepth, m),
+		metrics:  m,
+		mux:      http.NewServeMux(),
+		log:      log,
+		addr:     make(chan net.Addr, 1),
+		draining: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/metrics/stream", s.handleMetricsStream)
 	if cfg.EnablePprof {
 		profiling.RegisterHTTP(s.mux)
 	}
@@ -179,6 +186,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+
+	// Unblock stream subscribers before Shutdown starts waiting on
+	// in-flight connections; otherwise an open stream would pin the
+	// drain until its client disconnected.
+	close(s.draining)
 
 	drainCtx := context.Background()
 	var cancel context.CancelFunc = func() {}

@@ -217,6 +217,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if h := snap.LatencyUS["evaluate"]; h.Count != 1 || h.SumUS <= 0 {
 		t.Errorf("evaluate latency histogram wrong: %+v", h)
 	}
+	// The JSON document carries interpolated quantile estimates; with one
+	// observation all three land in that observation's bucket.
+	if h := snap.LatencyUS["evaluate"]; h.P50US <= 0 || h.P95US < h.P50US || h.P99US < h.P95US {
+		t.Errorf("evaluate latency quantiles wrong: p50=%g p95=%g p99=%g", h.P50US, h.P95US, h.P99US)
+	}
 	if snap.InflightJobs != 0 || snap.QueuedJobs != 0 {
 		t.Errorf("gauges should be zero at rest: %+v", snap)
 	}

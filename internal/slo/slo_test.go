@@ -1,0 +1,242 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"ramp/internal/obs"
+)
+
+// mkDelta builds one window delta with the given counters and an
+// optional latency histogram holding `fast` obs at 10µs and `slow` obs
+// at 10000µs.
+func mkDelta(seq int64, counters map[string]int64, fast, slow int64) obs.WindowDelta {
+	d := obs.WindowDelta{
+		Seq:   seq,
+		Start: time.Unix(seq, 0),
+		End:   time.Unix(seq+1, 0),
+	}
+	d.Delta.Counters = counters
+	if fast+slow > 0 {
+		reg := obs.NewRegistry()
+		rh := reg.Histogram("lat")
+		for i := int64(0); i < fast; i++ {
+			rh.Observe(10)
+		}
+		for i := int64(0); i < slow; i++ {
+			rh.Observe(10000)
+		}
+		d.Delta.Histograms = reg.Snapshot().Histograms
+	}
+	return d
+}
+
+// sum builds the whole-run snapshot from deltas (counters add,
+// histograms merge).
+func sum(deltas []obs.WindowDelta) obs.Snapshot {
+	var total obs.Snapshot
+	total.Counters = map[string]int64{}
+	var lat obs.HistogramSnapshot
+	for _, d := range deltas {
+		for k, v := range d.Delta.Counters {
+			total.Counters[k] += v
+		}
+		lat = lat.Merge(d.Delta.Histograms["lat"])
+	}
+	total.Histograms = map[string]obs.HistogramSnapshot{"lat": lat}
+	return total
+}
+
+func rateObj() Objective {
+	return Objective{
+		Name: "shed-rate", Bad: []string{"shed"}, Total: "reqs", MaxRatio: 0.05,
+		FastWindows: 2, SlowWindows: 4, FastBurn: 10, SlowBurn: 2,
+	}
+}
+
+func TestRateObjectiveCompliant(t *testing.T) {
+	var deltas []obs.WindowDelta
+	for i := int64(0); i < 6; i++ {
+		deltas = append(deltas, mkDelta(i, map[string]int64{"reqs": 100, "shed": 1}, 0, 0))
+	}
+	res, err := Evaluate([]Objective{rateObj()}, sum(deltas), deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Breached {
+		t.Errorf("1%% shed under a 5%% budget breached: %+v", r)
+	}
+	if math.Abs(r.Overall-0.01) > 1e-12 {
+		t.Errorf("overall = %g, want 0.01", r.Overall)
+	}
+	if math.Abs(r.Burn-0.2) > 1e-12 {
+		t.Errorf("burn = %g, want 0.2", r.Burn)
+	}
+}
+
+func TestRateObjectiveBudgetExhausted(t *testing.T) {
+	deltas := []obs.WindowDelta{mkDelta(0, map[string]int64{"reqs": 100, "shed": 20}, 0, 0)}
+	res, err := Evaluate([]Objective{rateObj()}, sum(deltas), deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Breached || !strings.Contains(res[0].Reason, "budget exhausted") {
+		t.Errorf("20%% shed under a 5%% budget did not breach: %+v", res[0])
+	}
+}
+
+// TestBurnGateNeedsBothWindows: a short spike trips the fast window but
+// not the slow one — no breach; a sustained burn trips both.
+func TestBurnGateNeedsBothWindows(t *testing.T) {
+	quiet := map[string]int64{"reqs": 100, "shed": 0}
+	spike := map[string]int64{"reqs": 100, "shed": 80}
+
+	// 10 quiet windows, 2 spiking ones at the end: fast burn is huge,
+	// slow burn (last 4: 2 quiet + 2 spike = 160/400 = 40% → burn 8)...
+	// use a longer quiet tail so the slow window stays under its 2×.
+	var deltas []obs.WindowDelta
+	for i := int64(0); i < 2; i++ {
+		deltas = append(deltas, mkDelta(i, spike, 0, 0))
+	}
+	for i := int64(2); i < 12; i++ {
+		deltas = append(deltas, mkDelta(i, quiet, 0, 0))
+	}
+	// Spikes at the START: the fast window (last 2) is quiet now.
+	o := rateObj()
+	o.MaxRatio = 0.2 // keep the overall 160/1200 ≈ 13% inside budget
+	res, err := Evaluate([]Objective{o}, sum(deltas), deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Breached {
+		t.Errorf("old spike outside both windows breached: %+v", res[0])
+	}
+
+	// Sustained: every window sheds 80% → both windows burn 4× over a
+	// 20% budget with FastBurn=3, SlowBurn=2.
+	var hot []obs.WindowDelta
+	for i := int64(0); i < 6; i++ {
+		hot = append(hot, mkDelta(i, spike, 0, 0))
+	}
+	o2 := rateObj()
+	o2.MaxRatio = 0.9 // overall 80% < 90%: compliance alone won't trip
+	o2.FastBurn = 0.8 // measured burn is 0.8/0.9 ≈ 0.889 on both windows
+	o2.SlowBurn = 0.8
+	res, err = Evaluate([]Objective{o2}, sum(hot), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Breached || !strings.Contains(res[0].Reason, "burn rate") {
+		t.Errorf("sustained burn did not trip the multi-window gate: %+v", res[0])
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	// 99 fast (10µs) + 1 slow (10000µs) per window: p99 sits right at
+	// the boundary; with a 1000µs bound exactly 1% of events are bad.
+	var deltas []obs.WindowDelta
+	for i := int64(0); i < 4; i++ {
+		deltas = append(deltas, mkDelta(i, map[string]int64{"reqs": 100}, 99, 1))
+	}
+	o := Objective{Name: "p95-lat", Hist: "lat", P: 0.95, MaxUS: 1000}
+	res, err := Evaluate([]Objective{o}, sum(deltas), deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Kind != "latency" {
+		t.Errorf("kind = %q", r.Kind)
+	}
+	if math.Abs(r.Budget-0.05) > 1e-12 {
+		t.Errorf("budget = %g, want 0.05", r.Budget)
+	}
+	if r.Breached {
+		t.Errorf("1%% slow under a 5%% budget breached: %+v", r)
+	}
+	if math.Abs(r.Overall-0.01) > 1e-9 {
+		t.Errorf("overall bad fraction = %g, want 0.01", r.Overall)
+	}
+
+	// Tighten the quantile to p99 with the same traffic: exactly at
+	// budget, not over — still compliant. Then make half the traffic
+	// slow: breach.
+	bad := []obs.WindowDelta{mkDelta(0, map[string]int64{"reqs": 100}, 50, 50)}
+	res, err = Evaluate([]Objective{o}, sum(bad), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Breached {
+		t.Errorf("50%% slow under a 5%% budget did not breach: %+v", res[0])
+	}
+}
+
+func TestEvaluateNoTraffic(t *testing.T) {
+	res, err := Evaluate([]Objective{rateObj()}, obs.Snapshot{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Breached {
+		t.Errorf("no traffic breached: %+v", res[0])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Objective{
+		{},                            // no name
+		{Name: "x"},                   // neither form
+		{Name: "x", Hist: "h", P: 2},  // p out of range
+		{Name: "x", Hist: "h", P: .9}, // no bound
+		{Name: "x", Bad: []string{"b"}, Total: "t", MaxRatio: 1.5},
+		{Name: "x", Hist: "h", P: .9, MaxUS: 10, Bad: []string{"b"}, Total: "t", MaxRatio: .1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, o)
+		}
+	}
+	good := Objective{Name: "ok", Hist: "h", P: 0.99, MaxUS: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid objective rejected: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	objs, err := Parse([]byte(`[
+		{"name":"p99","hist":"load_latency_us","p":0.99,"max_us":200000},
+		{"name":"shed","bad":["load_shed_total"],"total":"load_requests_total","max_ratio":0.05}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || objs[0].Kind() != "latency" || objs[1].Kind() != "rate" {
+		t.Fatalf("parsed %+v", objs)
+	}
+	if _, err := Parse([]byte(`[{"name":"x","hist":"h","p":0.5,"max_us":1,"typo":true}]`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse([]byte(`[{"name":"x"}]`)); err == nil {
+		t.Error("invalid objective accepted")
+	}
+	if _, err := Parse([]byte(`[] trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestBreachedAndTable(t *testing.T) {
+	res := []Result{{Name: "a"}, {Name: "b", Breached: true, Reason: "why"}}
+	if !Breached(res) {
+		t.Error("Breached missed a breach")
+	}
+	if Breached(res[:1]) {
+		t.Error("Breached false positive")
+	}
+	var sb strings.Builder
+	WriteTable(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, "BREACH") || !strings.Contains(out, "why") {
+		t.Errorf("table missing verdict:\n%s", out)
+	}
+}

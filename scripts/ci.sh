@@ -50,6 +50,7 @@ lane "fuzz variation" go test -fuzz FuzzVariationSampler -fuzztime 5s -run '^$' 
 lane "fuzz fleetreq" go test -fuzz FuzzFleetRequest -fuzztime 5s -run '^$' ./internal/serve/
 lane "smoke" ./scripts/smoke.sh
 lane "obscheck" ./scripts/obscheck.sh
+lane "loadcheck" ./scripts/loadcheck.sh
 # The domain linter runs against the committed baseline: grandfathered
 # findings pass, anything fresh fails the lane. Regenerate the file with
 # `go run ./cmd/rampvet -write-baseline ./...` only when grandfathering

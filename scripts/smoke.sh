@@ -24,7 +24,7 @@ trap cleanup EXIT
 
 step() { echo "==> $*"; }
 
-binaries="rampsim ramptables drmexplore drmdtm scaling manycore rampvet rampserve tracecheck fleetmc"
+binaries="rampsim ramptables drmexplore drmdtm scaling manycore rampvet rampserve tracecheck fleetmc rampload"
 
 step "build all binaries"
 for b in ${binaries}; do
@@ -120,6 +120,16 @@ curl -sSf -D "${logdir}/rid.h" -o /dev/null \
 grep -qi '^x-request-id: smoke-probe-1' "${logdir}/rid.h"
 curl -sSf -D "${logdir}/rid2.h" -o /dev/null "http://${addr}/v1/healthz"
 grep -qi '^x-request-id: ramp-' "${logdir}/rid2.h"
+
+step "rampserve: windowed metrics stream (one NDJSON frame)"
+curl -sSf "http://${addr}/v1/metrics/stream?window=100ms&n=1&format=ndjson" \
+	>"${logdir}/frame.json"
+grep -q '"request_id"' "${logdir}/frame.json"
+grep -q '"delta"' "${logdir}/frame.json"
+
+step "rampload: deterministic plan render (no traffic)"
+"${bindir}/rampload" -plan -seed 5 -n 1000 >"${logdir}/plan.out"
+grep -q 'stream fnv64a' "${logdir}/plan.out"
 
 step "rampserve: /metrics Prometheus text exposition"
 curl -sSf "http://${addr}/metrics?format=prom" >"${logdir}/metrics.prom"
